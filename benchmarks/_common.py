@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index
+(E1..E12), prints the rows/series the experiment produces (capacities,
+decode accuracies, latency tables), and asserts the *shape* the paper
+claims -- who wins, and where the channel closes.  Absolute cycle counts
+are simulator artefacts; shapes are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.attacks.harness import ChannelResult
+
+# A channel is "closed" when its measured capacity is numerically zero
+# (the simulator is deterministic, so closed channels produce literally
+# constant observations).
+CLOSED_BITS = 1e-3
+# A channel is convincingly "open" above this.
+OPEN_BITS = 0.3
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_channel_table(title: str, results: "list[ChannelResult]") -> None:
+    print(f"\n=== {title} ===")
+    header = f"{'configuration':44s} {'capacity':>10s} {'decode':>8s} {'chance':>8s}"
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        print(
+            f"{result.tp_label[:44]:44s} "
+            f"{result.capacity_bits():>7.3f} b "
+            f"{result.decode_accuracy():>8.2f} "
+            f"{result.chance_accuracy():>8.2f}"
+        )

@@ -1,0 +1,151 @@
+"""E10 (Sect. 4.3): padding generalises to algorithmic channels.
+
+Paper claim: padding "is a general mechanism that can also be used to
+prevent algorithmic channels" -- the square-and-multiply victim's running
+time encodes its exponent's Hamming weight, and padding the component's
+execution to an upper bound hides it.
+
+Rows regenerated: (exponent Hamming weight -> first-arrival time at Lo)
+for unpadded and padded IPC; plus the capacity of the arrival channel.
+"""
+
+import statistics
+
+from repro.analysis import capacity_bits, from_samples
+from repro.hardware import ReadTime, Syscall, presets
+from repro.kernel import Kernel, TimeProtectionConfig
+from repro.workloads import exponent_work_cycles, modexp_victim
+
+from _common import CLOSED_BITS, OPEN_BITS, run_once
+
+EXPONENTS = [0x01, 0x0F, 0x5B, 0xFF]  # Hamming weights 1, 4, 5, 8
+BITS = 8
+MIN_EXEC = 14_000  # designer-chosen bound above the modexp WCET
+
+
+def _run(exponent, padded):
+    machine = presets.tiny_machine()
+    tp = TimeProtectionConfig.full(padded_ipc=padded)
+    kernel = Kernel(machine, tp)
+    hi = kernel.create_domain("Hi", n_colours=2, slice_cycles=20_000)
+    lo = kernel.create_domain("Lo", n_colours=2, slice_cycles=6_000)
+    endpoint = kernel.create_endpoint(
+        "result", min_exec_cycles=MIN_EXEC, receiver_domain=lo
+    )
+    kernel.create_thread(
+        hi,
+        modexp_victim,
+        params={
+            "exponent": exponent,
+            "bits": BITS,
+            "endpoint_id": endpoint.endpoint_id,
+            "messages": 3,
+        },
+    )
+    arrivals = []
+
+    def sink(ctx):
+        for _ in range(3):
+            yield Syscall("recv", (endpoint.endpoint_id,))
+            stamp = yield ReadTime()
+            arrivals.append(stamp.value)
+
+    kernel.create_thread(lo, sink)
+    kernel.set_schedule(0, [(hi, None), (lo, None)])
+    kernel.run(max_cycles=2_500_000)
+    return arrivals
+
+
+def _sweep():
+    table = {}
+    for padded in (False, True):
+        for exponent in EXPONENTS:
+            table[(padded, exponent)] = _run(exponent, padded)
+    return table
+
+
+def test_e10_algorithmic_channel_padding(benchmark):
+    table = run_once(benchmark, _sweep)
+    print("\n=== E10: modexp arrival times vs exponent Hamming weight ===")
+    print(f"{'exponent':>10s} {'weight':>7s} {'work(cyc)':>10s} "
+          f"{'arrival (unpadded)':>20s} {'arrival (padded)':>18s}")
+    for exponent in EXPONENTS:
+        weight = bin(exponent).count("1")
+        work = exponent_work_cycles(exponent, BITS)
+        print(
+            f"{exponent:#10x} {weight:>7d} {work:>10d} "
+            f"{table[(False, exponent)][0]:>20d} {table[(True, exponent)][0]:>18d}"
+        )
+    # Shape: unpadded first arrivals strictly increase with the weight...
+    unpadded_firsts = [table[(False, e)][0] for e in EXPONENTS]
+    assert unpadded_firsts == sorted(unpadded_firsts)
+    assert unpadded_firsts[-1] > unpadded_firsts[0]
+    # ...and padded arrivals are identical across secrets.
+    padded_firsts = {table[(True, e)][0] for e in EXPONENTS}
+    assert len(padded_firsts) == 1
+    # Channel capacities agree.
+    unpadded_samples = [
+        (e, t) for e in EXPONENTS for t in table[(False, e)]
+    ]
+    padded_samples = [(e, t) for e in EXPONENTS for t in table[(True, e)]]
+    assert capacity_bits(from_samples(unpadded_samples)) > OPEN_BITS
+    assert capacity_bits(from_samples(padded_samples)) < CLOSED_BITS
+
+
+def _interim_utilisation(with_interim):
+    """Sect. 4.3's second claim: busy-loop padding is wasteful; scheduling
+    an interim Hi process reclaims the pad time without moving delivery."""
+    from repro.hardware import Compute, Halt
+
+    machine = presets.tiny_machine()
+    kernel = Kernel(machine, TimeProtectionConfig.full(padded_ipc=True))
+    hi = kernel.create_domain("Hi", n_colours=2, slice_cycles=20_000)
+    lo = kernel.create_domain("Lo", n_colours=2, slice_cycles=6_000)
+    endpoint = kernel.create_endpoint(
+        "result", min_exec_cycles=MIN_EXEC, receiver_domain=lo
+    )
+    kernel.create_thread(
+        hi,
+        modexp_victim,
+        params={
+            "exponent": 0x5B,
+            "bits": BITS,
+            "endpoint_id": endpoint.endpoint_id,
+            "messages": 3,
+        },
+    )
+    work = [0]
+    if with_interim:
+        def interim(ctx):
+            while True:
+                yield Compute(50)
+                work[0] += 1
+
+        kernel.create_thread(hi, interim)
+    arrivals = []
+
+    def sink(ctx):
+        for _ in range(3):
+            yield Syscall("recv", (endpoint.endpoint_id,))
+            stamp = yield ReadTime()
+            arrivals.append(stamp.value)
+        yield Halt()
+
+    kernel.create_thread(lo, sink)
+    kernel.set_schedule(0, [(hi, None), (lo, None)])
+    kernel.run(max_cycles=1_500_000)
+    return arrivals, work[0]
+
+
+def test_e10b_interim_process_padding(benchmark):
+    (busy_arrivals, busy_work), (interim_arrivals, interim_work) = run_once(
+        benchmark, lambda: (_interim_utilisation(False), _interim_utilisation(True))
+    )
+    print("\n=== E10b: busy-loop vs interim-process padding (Sect. 4.3) ===")
+    print(f"{'strategy':18s} {'arrivals':36s} {'interim work units':>18s}")
+    print(f"{'busy-loop pad':18s} {str(busy_arrivals):36s} {busy_work:>18d}")
+    print(f"{'interim process':18s} {str(interim_arrivals):36s} {interim_work:>18d}")
+    # Same (deterministic) delivery schedule, reclaimed utilisation.
+    assert busy_arrivals == interim_arrivals
+    assert busy_work == 0
+    assert interim_work > 100

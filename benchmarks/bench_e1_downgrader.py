@@ -1,0 +1,48 @@
+"""E1 (Figure 1): the downgrader's event-timing channel.
+
+Paper claim (Sect. 3.2): the arrival time of the encryption component's
+output leaks its secret-dependent execution time; padded synchronous IPC
+delivery (Cock et al. [2014]) makes delivery happen at pre-determined
+times, closing the channel.
+
+Series regenerated: channel capacity of the ciphertext inter-arrival
+times over a sweep of crypto secrets, for (i) no protection, (ii) full TP
+without padded IPC (switch padding alone does NOT close this), (iii) full
+TP with padded IPC.
+"""
+
+from repro.attacks import event_timing
+from repro.hardware import presets
+from repro.kernel import TimeProtectionConfig
+
+from _common import CLOSED_BITS, OPEN_BITS, print_channel_table, run_once
+
+SYMBOLS = [0, 4, 8, 12]
+
+
+def _sweep():
+    configs = [
+        TimeProtectionConfig.none(),
+        TimeProtectionConfig.full(),  # padded switches but unpadded IPC
+        TimeProtectionConfig.full(padded_ipc=True),
+    ]
+    return [
+        event_timing.experiment(
+            tp, presets.tiny_machine, symbols=SYMBOLS, messages_per_run=5
+        )
+        for tp in configs
+    ]
+
+
+def test_e1_downgrader_event_timing(benchmark):
+    unprotected, unpadded_ipc, padded_ipc = run_once(benchmark, _sweep)
+    print_channel_table(
+        "E1: downgrader event timing (Figure 1)",
+        [unprotected, unpadded_ipc, padded_ipc],
+    )
+    # Shape: open, still open, closed.
+    assert unprotected.capacity_bits() > OPEN_BITS
+    assert unpadded_ipc.capacity_bits() > OPEN_BITS
+    assert padded_ipc.capacity_bits() < CLOSED_BITS
+    # The unprotected channel is essentially noiseless: near log2(|S|).
+    assert unprotected.capacity_bits() > 1.5

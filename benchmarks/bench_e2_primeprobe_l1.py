@@ -1,0 +1,78 @@
+"""E2 (Sect. 3.1): time-shared L1 prime-and-probe.
+
+Paper claim: a Trojan sharing a core leaks through core-private cache
+state with high bandwidth; flushing on domain switch (L1 caches have one
+page colour, so flushing is the only mechanism) plus padding reduces the
+channel to nothing.
+
+Series regenerated: capacity/accuracy over the full set alphabet, for no
+protection, flush-only, and full TP; plus the flush-necessity ablation
+(colouring alone does not help the one-colour L1).
+"""
+
+from repro.attacks import primeprobe
+from repro.hardware import presets
+from repro.kernel import TimeProtectionConfig
+
+from _common import CLOSED_BITS, OPEN_BITS, print_channel_table, run_once
+
+SYMBOLS = [2, 3, 4, 5, 6, 7]  # sets clear of heavy kernel-data pollution
+
+
+def _sweep():
+    configs = [
+        TimeProtectionConfig.none(),
+        # Colouring alone: useless for a single-colour L1.
+        TimeProtectionConfig.none().without(cache_colouring=True, kernel_clone=True),
+        # Flush + padding alone: the operative defence.
+        TimeProtectionConfig.none().without(flush_on_switch=True, pad_switch=True),
+        TimeProtectionConfig.full(),
+    ]
+    return [
+        primeprobe.l1_experiment(
+            tp, presets.tiny_machine, symbols=SYMBOLS, rounds_per_run=7
+        )
+        for tp in configs
+    ]
+
+
+def test_e2_primeprobe_l1(benchmark):
+    unprotected, colour_only, flush_only, full = run_once(benchmark, _sweep)
+    print_channel_table(
+        "E2: prime+probe over the time-shared L1",
+        [unprotected, colour_only, flush_only, full],
+    )
+    assert unprotected.capacity_bits() > OPEN_BITS
+    assert unprotected.decode_accuracy() > 2 * unprotected.chance_accuracy()
+    # Colouring cannot partition a one-colour cache: channel stays open.
+    assert colour_only.capacity_bits() > OPEN_BITS
+    # Flushing closes it; full TP stays closed.
+    assert flush_only.capacity_bits() < CLOSED_BITS
+    assert full.capacity_bits() < CLOSED_BITS
+
+
+def _branch_sweep():
+    from repro.attacks import branch_channel
+
+    configs = [
+        TimeProtectionConfig.none(),
+        TimeProtectionConfig.none().without(flush_on_switch=True, pad_switch=True),
+        TimeProtectionConfig.full(),
+    ]
+    return [
+        branch_channel.experiment(tp, presets.tiny_bimodal_machine)
+        for tp in configs
+    ]
+
+
+def test_e2b_branch_predictor_channel(benchmark):
+    """Sect. 3.1 also names branch predictors among the stateful shared
+    resources; the direction-training channel closes under flushing."""
+    unprotected, flush_only, full = run_once(benchmark, _branch_sweep)
+    print_channel_table(
+        "E2b: branch-predictor training channel (bimodal predictor)",
+        [unprotected, flush_only, full],
+    )
+    assert unprotected.capacity_bits() > OPEN_BITS
+    assert flush_only.capacity_bits() < CLOSED_BITS
+    assert full.capacity_bits() < CLOSED_BITS

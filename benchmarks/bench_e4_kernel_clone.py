@@ -1,0 +1,41 @@
+"""E4 (Sect. 4.2): Flush+Reload on shared kernel text vs the kernel clone.
+
+Paper claim: "even read-only sharing of code is sufficient for creating a
+channel", so the kernel image itself must be coloured via the policy-free
+clone mechanism.  The decisive ablation: with *every other mechanism on*
+but cloning off, the spy still reads the victim's syscall activity off
+the shared text's cache residency; cloning alone closes it.
+"""
+
+from repro.attacks import flushreload
+from repro.hardware import presets
+from repro.kernel import TimeProtectionConfig
+
+from _common import CLOSED_BITS, OPEN_BITS, print_channel_table, run_once
+
+
+def _sweep():
+    configs = [
+        TimeProtectionConfig.none(),
+        TimeProtectionConfig.full().without(kernel_clone=False),
+        TimeProtectionConfig.full(),
+    ]
+    return [
+        flushreload.experiment(tp, presets.tiny_machine, rounds_per_run=7,
+                               sweep_rounds=3)
+        for tp in configs
+    ]
+
+
+def test_e4_flush_reload_kernel_text(benchmark):
+    unprotected, no_clone, full = run_once(benchmark, _sweep)
+    print_channel_table(
+        "E4: flush+reload on kernel text",
+        [unprotected, no_clone, full],
+    )
+    assert unprotected.capacity_bits() > OPEN_BITS
+    assert unprotected.decode_accuracy() == 1.0
+    # All other mechanisms cannot compensate for shared kernel text.
+    assert no_clone.capacity_bits() > OPEN_BITS
+    # The clone closes it.
+    assert full.capacity_bits() < CLOSED_BITS

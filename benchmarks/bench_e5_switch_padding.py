@@ -1,0 +1,68 @@
+"""E5 (Sect. 4.2): the dirty-line switch-latency channel and padding.
+
+Paper claim: "the latency of the flush is itself dependent on execution
+history (number of dirty lines), which would create a channel.  We avoid
+this channel by padding the domain-switch latency to a fixed value."
+
+Rows regenerated: (dirty lines -> observed Lo slice-start period) with
+flushing but no padding (the period tracks the Trojan's dirty count) and
+with padding (one constant row); plus channel capacities.
+"""
+
+import statistics
+
+from repro.attacks import switch_latency
+from repro.hardware import presets
+from repro.kernel import TimeProtectionConfig
+
+from _common import CLOSED_BITS, OPEN_BITS, print_channel_table, run_once
+
+SYMBOLS = [1, 5, 10, 16]  # dirty-line counts
+
+
+def _sweep():
+    flush_no_pad = TimeProtectionConfig.none().without(flush_on_switch=True)
+    full = TimeProtectionConfig.full()
+    results = []
+    for tp in (flush_no_pad, full):
+        results.append(
+            switch_latency.experiment(
+                tp,
+                presets.tiny_machine,
+                symbols=SYMBOLS,
+                rounds_per_run=8,
+                quantum=1,  # raw periods for the table
+            )
+        )
+    return results
+
+
+def test_e5_switch_latency_padding(benchmark):
+    unpadded, padded = run_once(benchmark, _sweep)
+    print("\n=== E5: Lo slice-start period vs Trojan dirty lines ===")
+    print(f"{'dirty lines':>12s} {'period (no pad)':>16s} {'period (padded)':>16s}")
+    unpadded_by_symbol = {}
+    padded_by_symbol = {}
+    for symbol, observation in unpadded.samples:
+        unpadded_by_symbol.setdefault(symbol, []).append(observation)
+    for symbol, observation in padded.samples:
+        padded_by_symbol.setdefault(symbol, []).append(observation)
+    for symbol in SYMBOLS:
+        print(
+            f"{symbol:>12d} "
+            f"{statistics.median(unpadded_by_symbol[symbol]):>16.0f} "
+            f"{statistics.median(padded_by_symbol[symbol]):>16.0f}"
+        )
+    print_channel_table("E5 capacities", [unpadded, padded])
+    # Shape: unpadded period grows monotonically with dirty lines.
+    medians = [statistics.median(unpadded_by_symbol[s]) for s in SYMBOLS]
+    assert medians == sorted(medians)
+    assert medians[-1] > medians[0]
+    # Padded periods are identical across symbols (the observation
+    # sequence is the same whatever the Trojan dirtied).
+    padded_sequences = {
+        symbol: tuple(padded_by_symbol[symbol]) for symbol in SYMBOLS
+    }
+    assert len(set(padded_sequences.values())) == 1
+    assert unpadded.capacity_bits() > OPEN_BITS
+    assert padded.capacity_bits() < CLOSED_BITS

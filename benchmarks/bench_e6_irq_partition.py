@@ -1,0 +1,37 @@
+"""E6 (Sect. 4.2): the I/O-completion interrupt channel and partitioning.
+
+Paper claim: a Trojan can steer a device completion interrupt into the
+victim's slice; the kernel prevents this by partitioning interrupt lines
+between domains and masking all lines not owned by the running domain.
+"""
+
+from repro.attacks import irq_channel
+from repro.hardware import presets
+from repro.kernel import TimeProtectionConfig
+
+from _common import CLOSED_BITS, OPEN_BITS, print_channel_table, run_once
+
+
+def _sweep():
+    configs = [
+        TimeProtectionConfig.none(),
+        # Everything but interrupt partitioning: still open.
+        TimeProtectionConfig.full().without(partition_interrupts=False),
+        TimeProtectionConfig.full(),
+    ]
+    return [
+        irq_channel.experiment(tp, presets.tiny_machine, rounds_per_run=7,
+                               sweep_rounds=3)
+        for tp in configs
+    ]
+
+
+def test_e6_interrupt_partitioning(benchmark):
+    unprotected, no_partition, full = run_once(benchmark, _sweep)
+    print_channel_table(
+        "E6: Trojan-timed completion interrupts",
+        [unprotected, no_partition, full],
+    )
+    assert unprotected.capacity_bits() > OPEN_BITS
+    assert no_partition.capacity_bits() > OPEN_BITS
+    assert full.capacity_bits() < CLOSED_BITS

@@ -1,0 +1,41 @@
+"""E7 (Sect. 2): the stateless-interconnect channel survives everything.
+
+Paper claim: covert channels through stateless interconnects "can only be
+prevented with hardware support that is not available on any contemporary
+mainstream hardware" -- so time protection deliberately excludes them,
+and Intel MBA's *approximate* bandwidth limits (footnote 1) are "not
+sufficient for preventing covert channels".
+
+Rows regenerated: capacity of the cross-core bandwidth channel under full
+time protection, without and with MBA-style throttling.  Both stay open.
+"""
+
+from repro.attacks import interconnect_channel
+from repro.hardware import presets
+from repro.kernel import TimeProtectionConfig
+
+from _common import OPEN_BITS, print_channel_table, run_once
+
+
+def _sweep():
+    full = TimeProtectionConfig.full()
+    plain = interconnect_channel.experiment(
+        full, presets.contended_machine, rounds_per_run=8, sweep_rounds=3
+    )
+    with_mba = interconnect_channel.experiment(
+        full, lambda: presets.contended_machine(mba=True),
+        rounds_per_run=8, sweep_rounds=3,
+    )
+    return plain, with_mba
+
+
+def test_e7_interconnect_channel_survives(benchmark):
+    plain, with_mba = run_once(benchmark, _sweep)
+    print_channel_table(
+        "E7: cross-core bandwidth channel under FULL time protection",
+        [plain, with_mba],
+    )
+    # The declared limitation: open despite every TP mechanism.
+    assert plain.capacity_bits() > OPEN_BITS
+    # MBA's approximate enforcement does not close it either.
+    assert with_mba.capacity_bits() > OPEN_BITS

@@ -1,0 +1,11 @@
+"""Make the benchmark helpers and the test builders importable."""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+
+for path in (_HERE, _ROOT):
+    if path not in sys.path:
+        sys.path.insert(0, path)

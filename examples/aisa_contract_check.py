@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Audit machines against the security-oriented hardware contract (aISA).
+
+The paper's conclusion: proving time protection is possible *iff* the
+hardware honours a contract -- every timing-relevant state element must be
+partitionable or flushable by the OS.  "We are clearly at the mercy of
+processor manufacturers here!"
+
+This example extracts the abstract hardware model from a family of
+machines -- one conforming, four violating in different ways -- and runs
+the full proof on each, showing exactly which obligation each violation
+trips and that the noninterference theorem fails with it.
+"""
+
+from repro import TimeProtectionConfig, presets
+from repro.core import AbstractHardwareModel, prove_time_protection
+from repro.hardware import Access, Compute, Halt, ReadTime, Syscall
+
+MACHINES = [
+    ("conforming tiny machine", presets.tiny_machine),
+    ("SMT pair (hyperthreading)", presets.tiny_smt_machine),
+    ("unflushable prefetcher", presets.tiny_unflushable_machine),
+    ("broken L1D flush", presets.tiny_broken_flush_machine),
+    ("single-colour LLC", lambda: presets.tiny_nocolour_machine(n_cores=1)),
+]
+
+
+def hi_program(ctx):
+    secret = ctx.params["secret"]
+    for i in range(60):
+        yield Access(
+            ctx.data_base + (i * (secret + 1) * ctx.line_size) % ctx.data_size,
+            write=True,
+            value=i,
+        )
+        if i % 8 == 0:
+            yield Syscall("nop")
+    while True:
+        yield Compute(10)
+
+
+def lo_program(ctx):
+    for i in range(100):
+        yield ReadTime()
+        yield Access(ctx.data_base + (i * ctx.line_size) % ctx.data_size)
+    yield Halt()
+
+
+def build_on(machine_factory):
+    def build(secret):
+        from repro import Kernel
+
+        machine = machine_factory()
+        kernel = Kernel(machine, TimeProtectionConfig.full())
+        hi = kernel.create_domain("Hi", n_colours=2, slice_cycles=3000)
+        lo = kernel.create_domain("Lo", n_colours=2, slice_cycles=3000)
+        kernel.create_thread(hi, hi_program, params={"secret": secret})
+        kernel.create_thread(lo, lo_program)
+        kernel.set_schedule(0, [(hi, None), (lo, None)])
+        kernel.run(max_cycles=350_000)
+        return kernel
+
+    return build
+
+
+def main():
+    for name, factory in MACHINES:
+        model = AbstractHardwareModel.from_machine(factory())
+        conforms = model.conforms_to_aisa()
+        print(f"\n=== {name} ===")
+        print(f"  aISA conformant: {'yes' if conforms else 'NO'}")
+        for element in model.unmanaged():
+            print(f"    unmanaged state: {element.name}")
+        report = prove_time_protection(
+            build_on(factory), secrets=[2, 11], observer="Lo"
+        )
+        print(f"  proof outcome:   {'THEOREM HOLDS' if report.holds else 'FAILS'}")
+        for obligation in report.failed_obligations():
+            print(f"    failed {obligation.obligation_id}: {obligation.title}")
+        for result in report.noninterference:
+            if not result.holds:
+                print(f"    interference witness: {result.divergence}")
+    print(
+        "\nOnly the conforming machine yields the theorem; every violation"
+        "\nis caught by the matching obligation, exactly as Sect. 5 predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

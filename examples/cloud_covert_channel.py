@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Cloud co-location scenario: a cross-VM covert channel, and its defences.
+
+Two "virtual machines" (security domains) share a physical core and the
+last-level cache -- the classic public-cloud co-location threat the
+paper's introduction invokes.  A Trojan inside the victim VM encodes a
+byte into cache sets; a spy VM decodes it with prime-and-probe.
+
+The script transmits a full covert byte four ways:
+
+* time-shared L1 channel, no protection       -> the byte gets out,
+* concurrent LLC channel, no protection       -> the byte gets out,
+* both again under full time protection       -> the decoder sees a
+  constant (zero bits of information), whatever was sent.
+"""
+
+from repro import TimeProtectionConfig, presets
+from repro.attacks import CovertTransmitter, primeprobe
+
+
+def make_transmitter(experiment, tp, machine_factory, symbol_map,
+                     symbol_period_cycles):
+    def run_symbol(symbol):
+        result = experiment(
+            tp, machine_factory, symbols=[symbol], rounds_per_run=6
+        )
+        return [obs for _s, obs in result.samples]
+
+    return CovertTransmitter(
+        run_symbol,
+        symbol_map=symbol_map,
+        symbol_period_cycles=symbol_period_cycles,
+    )
+
+
+def run_scenario(label, experiment, machine_factory, symbol_map,
+                 symbol_period_cycles, secret_byte):
+    for tp_label, tp in (
+        ("no protection", TimeProtectionConfig.none()),
+        ("full time protection", TimeProtectionConfig.full()),
+    ):
+        transmitter = make_transmitter(
+            experiment, tp, machine_factory, symbol_map, symbol_period_cycles
+        )
+        result = transmitter.transmit(secret_byte, width_bits=8)
+        print(f"  {label:28s} [{tp_label:22s}] {result.summary()}")
+
+
+def main():
+    secret_byte = 0xA7
+    print("cross-VM covert channel, transmitting one byte:\n")
+    # Map 2-bit symbols onto well-separated cache sets / colours.  The
+    # symbol period is the simulated time one symbol's transmission
+    # occupies (used for the nominal-1 GHz bandwidth figure).
+    run_scenario(
+        "time-shared L1 prime+probe",
+        primeprobe.l1_experiment,
+        presets.tiny_machine,
+        symbol_map={0: 4, 1: 5, 2: 6, 3: 7},
+        symbol_period_cycles=6 * 600_000,
+        secret_byte=secret_byte,
+    )
+    run_scenario(
+        "concurrent LLC prime+probe",
+        primeprobe.llc_experiment,
+        lambda: presets.tiny_machine(n_cores=2),
+        symbol_map={0: 1, 1: 3, 2: 5, 3: 7},
+        symbol_period_cycles=6 * 200_000,
+        secret_byte=secret_byte,
+    )
+    print(
+        "\nWith time protection the kernel flushes core-local state at every"
+        "\ndomain switch and colour-partitions the LLC: the same decoders see"
+        "\nonly their own deterministic echo."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Side-channel key recovery against a table-lookup cipher -- and its defeat.
+
+Unlike the covert-channel examples (where a Trojan cooperates), this is a
+pure *side* channel: the victim is an honest AES-like cipher whose table
+index depends on its key byte (Osvik et al. [2006]).  The spy never talks
+to it -- it prime-and-probes the L1 data cache across domain switches and
+reads the key byte off the conflict pattern.
+
+With flush-on-switch + padding, the same spy recovers nothing.
+"""
+
+from repro import Kernel, TimeProtectionConfig, presets
+from repro.attacks.encoding import majority
+from repro.hardware import Access, ReadTime, Syscall
+from repro.workloads import sbox_victim
+
+HI_SLICE = 4_000
+LO_SLICE = 12_000
+
+
+def pp_spy(ctx):
+    """Differential prime-and-probe over all L1 sets (see repro.attacks).
+
+    The spy knows which sets its *own* sleep syscall pollutes (kernel
+    data lands in the low sets -- public knowledge it can calibrate once,
+    offline) and excludes them from the decode.
+    """
+    n_sets = ctx.params["l1_sets"]
+    results = ctx.params["results"]
+    excluded = set(ctx.params.get("exclude_sets", ()))
+    for _round in range(ctx.params["rounds"]):
+        for page in range(2):
+            for set_index in range(n_sets):
+                yield Access(
+                    ctx.data_base + page * ctx.page_size + set_index * ctx.line_size
+                )
+
+        def probe():
+            latencies = []
+            for set_index in range(n_sets):
+                t0 = yield ReadTime()
+                for page in range(2):
+                    yield Access(
+                        ctx.data_base
+                        + page * ctx.page_size
+                        + set_index * ctx.line_size
+                    )
+                t1 = yield ReadTime()
+                latencies.append(t1.value - t0.value)
+            return latencies
+
+        baseline = yield from probe()
+        yield Syscall("sleep", (LO_SLICE + HI_SLICE // 2,))
+        after = yield from probe()
+        delta = [after[s] - baseline[s] for s in range(n_sets)]
+        candidates = [s for s in range(n_sets) if s not in excluded]
+        # Ties break toward higher sets: residual kernel pollution sits in
+        # the low sets, so equal deltas favour the un-polluted candidate.
+        results.append(max(candidates, key=lambda s: (delta[s], s)))
+
+
+def attack(key_byte, protected):
+    machine = presets.tiny_machine()
+    tp = TimeProtectionConfig.full() if protected else TimeProtectionConfig.none()
+    kernel = Kernel(machine, tp)
+    hi = kernel.create_domain("Victim", n_colours=2, slice_cycles=HI_SLICE)
+    lo = kernel.create_domain("Spy", n_colours=2, slice_cycles=LO_SLICE)
+    # The honest cipher: its only "flaw" is the secret-indexed table.
+    # A one-page table aliases table lines onto L1 sets directly.  The
+    # chosen-plaintext setting (attacker feeds plaintext 0) makes the
+    # first-round lookup line a pure function of the key byte.
+    kernel.create_thread(
+        hi,
+        sbox_victim,
+        data_pages=2,
+        params={
+            "key": [key_byte],
+            "table_pages": 2,
+            "blocks_per_slice": 6,
+            "fixed_plaintext": 0,
+        },
+    )
+    results = []
+    kernel.create_thread(
+        lo,
+        pp_spy,
+        data_pages=4,
+        params={
+            "l1_sets": machine.config.l1d_geometry.sets,
+            "results": results,
+            "rounds": 8,
+            "exclude_sets": (0, 1),  # the spy's own syscall pollution
+        },
+    )
+    kernel.set_schedule(0, [(hi, None), (lo, None)])
+    kernel.run(max_cycles=3_000_000)
+    return results[2:]  # drop schedule-alignment warmup
+
+
+def main():
+    # The victim's first-round lookup row is key % 8 (chosen plaintext 0),
+    # which is also its L1 set.  The spy's modal hot set is its guess.
+    for protected in (False, True):
+        mode = "full time protection" if protected else "no protection"
+        print(f"\n=== {mode} ===")
+        recovered = 0
+        guesses = []
+        keys = (0x04, 0x06, 0x07)
+        for key_byte in keys:
+            observations = attack(key_byte, protected)
+            guess = majority(observations) if observations else -1
+            guesses.append(guess)
+            hit = "recovered" if guess == key_byte % 8 else "missed"
+            print(
+                f"  key byte {key_byte:#04x}: spy's modal hot set = {guess} "
+                f"(victim's dominant set = {key_byte % 8}) -> {hit}"
+            )
+            recovered += guess == key_byte % 8
+        varies = len(set(guesses)) > 1
+        print(f"  recovery rate: {recovered}/{len(keys)}")
+        if varies:
+            verdict = "YES -- the channel carries key material"
+        else:
+            verdict = (
+                "no -- a constant output carries zero bits, "
+                "whatever it happens to coincide with"
+            )
+        print(f"  spy output varies with the key: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

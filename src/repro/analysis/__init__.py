@@ -1,0 +1,36 @@
+"""Channel quantification: matrices, capacity, bandwidth.
+
+The measurement half of the reproduction: channels found by
+``repro.attacks`` are quantified with the channel-matrix methodology of
+Cock et al. [2014] so "channel closed" is a number (capacity below the
+estimator noise floor), not an impression.
+"""
+
+from .bandwidth import BandwidthEstimate, bsc_capacity, effective_bit_rate
+from .capacity import (
+    blahut_arimoto,
+    capacity_bits,
+    estimator_bias_bits,
+    min_leakage,
+    mutual_information,
+    zero_leakage,
+)
+from .channel_matrix import ChannelMatrix, decode_accuracy, from_samples
+from .discretise import bin_observations, bin_vectors
+
+__all__ = [
+    "BandwidthEstimate",
+    "ChannelMatrix",
+    "bin_observations",
+    "bin_vectors",
+    "blahut_arimoto",
+    "bsc_capacity",
+    "capacity_bits",
+    "decode_accuracy",
+    "effective_bit_rate",
+    "estimator_bias_bits",
+    "from_samples",
+    "min_leakage",
+    "mutual_information",
+    "zero_leakage",
+]

@@ -1,0 +1,44 @@
+"""Channel bandwidth: bits per second from bits per symbol.
+
+Converts per-symbol capacity into a rate given the simulated clock
+frequency and the measured symbol period, and adjusts raw bit rates for
+decode errors via the binary-symmetric-channel capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BandwidthEstimate:
+    bits_per_symbol: float
+    symbol_period_cycles: float
+    clock_hz: float
+
+    @property
+    def symbols_per_second(self) -> float:
+        if self.symbol_period_cycles <= 0:
+            return 0.0
+        return self.clock_hz / self.symbol_period_cycles
+
+    @property
+    def bits_per_second(self) -> float:
+        return self.bits_per_symbol * self.symbols_per_second
+
+
+def bsc_capacity(error_rate: float) -> float:
+    """Capacity in bits/use of a binary symmetric channel with ``error_rate``."""
+    p = min(max(error_rate, 0.0), 1.0)
+    if p in (0.0, 1.0):
+        return 1.0
+    entropy = -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+    return max(0.0, 1.0 - entropy)
+
+
+def effective_bit_rate(
+    raw_bits_per_second: float, error_rate: float
+) -> float:
+    """Error-adjusted rate: raw rate times the BSC capacity."""
+    return raw_bits_per_second * bsc_capacity(error_rate)

@@ -1,0 +1,60 @@
+"""Observation binning for channel-matrix construction.
+
+Raw observations (latencies, arrival times) are often high-cardinality;
+binning them keeps channel matrices well-sampled without destroying the
+signal.  Binning must be chosen *independently of the secret* -- it is
+part of the attacker's decoder, so it may use all observations pooled.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def bin_observations(
+    samples: Sequence[Tuple[Hashable, float]],
+    n_bins: int = 16,
+) -> List[Tuple[Hashable, int]]:
+    """Quantile-bin the observation component of (symbol, value) samples.
+
+    Returns samples with observations replaced by bin indices.  Constant
+    observations collapse to a single bin (a manifestly empty channel).
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    values = np.asarray([float(value) for _symbol, value in samples])
+    if values.size == 0:
+        return []
+    low, high = values.min(), values.max()
+    if np.isclose(low, high):
+        return [(symbol, 0) for symbol, _value in samples]
+    edges = np.quantile(values, np.linspace(0.0, 1.0, n_bins + 1))
+    edges = np.unique(edges)
+    binned = np.clip(np.searchsorted(edges, values, side="right") - 1, 0, len(edges) - 2)
+    return [
+        (symbol, int(bin_index))
+        for (symbol, _value), bin_index in zip(samples, binned)
+    ]
+
+
+def bin_vectors(
+    samples: Sequence[Tuple[Hashable, Sequence[float]]],
+) -> List[Tuple[Hashable, Hashable]]:
+    """Reduce vector observations (e.g. per-set probe profiles) to features.
+
+    The feature is (argmax index, max - median quantised): which position
+    stood out and by how much -- the standard prime-and-probe decode
+    input.
+    """
+    reduced: List[Tuple[Hashable, Hashable]] = []
+    for symbol, vector in samples:
+        array = np.asarray(list(vector), dtype=float)
+        if array.size == 0:
+            reduced.append((symbol, (0, 0)))
+            continue
+        spread = float(array.max() - np.median(array))
+        feature = (int(array.argmax()), int(round(spread)))
+        reduced.append((symbol, feature))
+    return reduced

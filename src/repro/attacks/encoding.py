@@ -1,0 +1,42 @@
+"""Bit/symbol codecs for covert-channel experiments."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Big-endian bit vector of ``value`` in ``width`` bits."""
+    if width < 0:
+        raise ValueError("width must be >= 0")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (1 if bit else 0)
+    return value
+
+
+def majority(values: Iterable[int]) -> int:
+    """Majority vote over a sequence (ties break toward the smaller)."""
+    counts = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    if not counts:
+        raise ValueError("majority of empty sequence")
+    best = max(sorted(counts), key=lambda v: counts[v])
+    return best
+
+
+def hamming_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Fraction of positions that differ (compared up to common length)."""
+    if not sent or not received:
+        return 1.0
+    compared = min(len(sent), len(received))
+    errors = sum(
+        1 for a, b in zip(sent[:compared], received[:compared]) if a != b
+    )
+    errors += abs(len(sent) - len(received))
+    return errors / max(len(sent), len(received))

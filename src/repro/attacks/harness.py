@@ -1,0 +1,94 @@
+"""Shared experiment harness for channel measurements.
+
+Every attack experiment follows the same shape: build a complete system
+(machine + kernel + domains + programs) for one input symbol, run it,
+extract the spy's observations, repeat over a symbol alphabet, and
+quantify the resulting (symbol, observation) samples as a channel.  The
+harness owns that loop so individual attacks only provide programs and a
+feature extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+
+from ..analysis import (
+    ChannelMatrix,
+    capacity_bits,
+    decode_accuracy,
+    from_samples,
+    min_leakage,
+    mutual_information,
+)
+
+
+@dataclass
+class ChannelResult:
+    """Measured samples plus derived channel statistics."""
+
+    name: str
+    tp_label: str
+    samples: List[Tuple[Hashable, Hashable]]
+    symbol_period_cycles: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def matrix(self) -> ChannelMatrix:
+        return from_samples(self.samples)
+
+    def capacity_bits(self) -> float:
+        return capacity_bits(self.matrix())
+
+    def mutual_information_bits(self) -> float:
+        return mutual_information(self.matrix())
+
+    def min_leakage_bits(self) -> float:
+        return min_leakage(self.matrix())
+
+    def decode_accuracy(self) -> float:
+        return decode_accuracy(self.samples)
+
+    def n_symbols(self) -> int:
+        return len({symbol for symbol, _obs in self.samples})
+
+    def chance_accuracy(self) -> float:
+        n = self.n_symbols()
+        return 1.0 / n if n else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.name} [{self.tp_label}]: "
+            f"capacity={self.capacity_bits():.3f} bits/symbol, "
+            f"decode accuracy={self.decode_accuracy():.2f} "
+            f"(chance {self.chance_accuracy():.2f}), "
+            f"{len(self.samples)} samples"
+        )
+
+
+def run_symbol_sweep(
+    name: str,
+    tp_label: str,
+    run_once: Callable[[Hashable], Sequence[Hashable]],
+    symbols: Sequence[Hashable],
+    rounds: int = 1,
+    metadata: Optional[dict] = None,
+) -> ChannelResult:
+    """Run ``run_once(symbol)`` for each symbol (``rounds`` times) and pool.
+
+    ``run_once`` returns the spy's per-round observations for one full
+    system run transmitting ``symbol``; each observation becomes one
+    sample.
+    """
+    samples: List[Tuple[Hashable, Hashable]] = []
+    for _round in range(rounds):
+        for symbol in symbols:
+            for observation in run_once(symbol):
+                samples.append((symbol, observation))
+    if not samples:
+        raise RuntimeError(f"experiment {name!r} produced no samples")
+    return ChannelResult(
+        name=name,
+        tp_label=tp_label,
+        samples=samples,
+        metadata=dict(metadata or {}),
+    )

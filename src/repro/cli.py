@@ -1,0 +1,215 @@
+"""Command-line interface: prove, survey channels, inspect machines.
+
+Three subcommands::
+
+    repro-tp prove    [--machine M] [--tp T] [--secrets 1,7,23]
+    repro-tp channels [--machine M] [--tp T] [--only e2,e4]
+    repro-tp inspect  [--machine M]
+
+``prove`` runs the full Sect. 5 argument (obligations, case split,
+unwinding, two-run noninterference) on a standard two-domain system and
+prints the report.  ``channels`` measures the attack suite under the
+chosen configuration.  ``inspect`` extracts and prints the abstract
+hardware model (Sect. 5.1) of a machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .core import (
+    AbstractHardwareModel,
+    format_report,
+    prove_time_protection,
+)
+from .hardware import Access, Compute, Halt, ReadTime, Syscall, presets
+from .kernel import Kernel, TimeProtectionConfig
+
+MACHINES: Dict[str, Callable] = {
+    "tiny": presets.tiny_machine,
+    "tiny2": lambda: presets.tiny_machine(n_cores=2),
+    "desktop": presets.desktop_machine,
+    "smt": presets.tiny_smt_machine,
+    "unflushable": presets.tiny_unflushable_machine,
+    "broken-flush": presets.tiny_broken_flush_machine,
+    "nocolour": lambda: presets.tiny_nocolour_machine(n_cores=1),
+    "contended": presets.contended_machine,
+}
+
+TP_CONFIGS: Dict[str, Callable[[], TimeProtectionConfig]] = {
+    "full": TimeProtectionConfig.full,
+    "none": TimeProtectionConfig.none,
+    "way": TimeProtectionConfig.full_with_way_partitioning,
+    "no-pad": lambda: TimeProtectionConfig.full().without(pad_switch=False),
+    "no-flush": lambda: TimeProtectionConfig.full().without(flush_on_switch=False),
+    "no-clone": lambda: TimeProtectionConfig.full().without(kernel_clone=False),
+    "no-colour": lambda: TimeProtectionConfig.full().without(cache_colouring=False),
+}
+
+
+def _hi_program(ctx):
+    secret = ctx.params["secret"]
+    for i in range(80):
+        yield Access(
+            ctx.data_base + (i * (secret + 1) * ctx.line_size) % ctx.data_size,
+            write=True,
+            value=i,
+        )
+        if i % 9 == 0:
+            yield Syscall("nop")
+    while True:
+        yield Compute(15)
+
+
+def _lo_program(ctx):
+    for i in range(150):
+        yield ReadTime()
+        yield Access(ctx.data_base + (i * ctx.line_size) % ctx.data_size)
+    yield Halt()
+
+
+def _build_standard_system(machine_factory, tp, max_cycles):
+    def build(secret):
+        machine = machine_factory()
+        kernel = Kernel(machine, tp)
+        kernel.capture_footprints = True
+        hi = kernel.create_domain("Hi", n_colours=2, slice_cycles=3000)
+        lo = kernel.create_domain("Lo", n_colours=2, slice_cycles=3000)
+        kernel.create_thread(hi, _hi_program, params={"secret": secret})
+        kernel.create_thread(lo, _lo_program)
+        kernel.set_schedule(0, [(hi, None), (lo, None)])
+        kernel.run(max_cycles=max_cycles)
+        return kernel
+
+    return build
+
+
+def cmd_prove(args) -> int:
+    machine_factory = MACHINES[args.machine]
+    tp = TP_CONFIGS[args.tp]()
+    secrets = [int(s) for s in args.secrets.split(",")]
+    report = prove_time_protection(
+        _build_standard_system(machine_factory, tp, args.max_cycles),
+        secrets=secrets,
+        observer="Lo",
+    )
+    print(format_report(report, verbose=True))
+    return 0 if report.holds else 1
+
+
+def cmd_channels(args) -> int:
+    from .attacks import (
+        event_timing,
+        flushreload,
+        irq_channel,
+        occupancy,
+        primeprobe,
+        switch_latency,
+    )
+
+    tp = TP_CONFIGS[args.tp]()
+    machine_factory = MACHINES[args.machine]
+    experiments = {
+        "e1": lambda: event_timing.experiment(
+            TP_CONFIGS[args.tp]() if args.tp != "full"
+            else TimeProtectionConfig.full(padded_ipc=True),
+            machine_factory,
+        ),
+        "e2": lambda: primeprobe.l1_experiment(
+            tp, machine_factory, symbols=[2, 4, 6], rounds_per_run=6
+        ),
+        "e4": lambda: flushreload.experiment(tp, machine_factory),
+        "e5": lambda: switch_latency.experiment(
+            tp, machine_factory, symbols=[1, 10], rounds_per_run=6
+        ),
+        "e6": lambda: irq_channel.experiment(tp, machine_factory),
+        "occupancy": lambda: occupancy.experiment(
+            tp, machine_factory, symbols=[1, 8], rounds_per_run=5
+        ),
+    }
+    selected = (
+        [name.strip() for name in args.only.split(",")]
+        if args.only
+        else sorted(experiments)
+    )
+    print(f"channel survey on machine={args.machine!r}, tp={args.tp!r}:\n")
+    worst = 0.0
+    for name in selected:
+        runner = experiments.get(name)
+        if runner is None:
+            print(f"  unknown experiment {name!r}; choices: {sorted(experiments)}")
+            return 2
+        result = runner()
+        worst = max(worst, result.capacity_bits())
+        print(f"  {result.summary()}")
+    print(
+        f"\nworst channel: {worst:.3f} bits/symbol "
+        f"({'LEAKY' if worst > 1e-3 else 'all surveyed channels closed'})"
+    )
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    machine = MACHINES[args.machine]()
+    model = AbstractHardwareModel.from_machine(machine)
+    summary = model.summary()
+    print(f"abstract hardware model of machine {args.machine!r}:")
+    for key in ("partitionable", "flushable", "unmanaged"):
+        names = summary[key]
+        print(f"  {key:14s} ({len(names)}): {', '.join(names) or '-'}")
+    for element in model.elements:
+        print(
+            f"    {element.name:20s} declared={element.declared_category.value:14s} "
+            f"effective={element.effective_category.value:14s} "
+            f"partitions={element.n_partitions}"
+        )
+    print("  declared exclusions:")
+    for exclusion in summary["exclusions"]:
+        print(f"    * {exclusion}")
+    verdict = "conforms to the aISA contract" if model.conforms_to_aisa() else (
+        "VIOLATES the aISA contract: time protection cannot be proved"
+    )
+    print(f"  verdict: {verdict}")
+    return 0 if model.conforms_to_aisa() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tp",
+        description="Prove (or refute) time protection on a simulated system.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    prove = subparsers.add_parser("prove", help="run the full Sect. 5 proof")
+    prove.add_argument("--machine", choices=sorted(MACHINES), default="tiny")
+    prove.add_argument("--tp", choices=sorted(TP_CONFIGS), default="full")
+    prove.add_argument("--secrets", default="1,7,23",
+                       help="comma-separated Hi secrets to sweep")
+    prove.add_argument("--max-cycles", type=int, default=400_000)
+    prove.set_defaults(func=cmd_prove)
+
+    channels = subparsers.add_parser("channels", help="measure the attack suite")
+    channels.add_argument("--machine", choices=sorted(MACHINES), default="tiny")
+    channels.add_argument("--tp", choices=sorted(TP_CONFIGS), default="full")
+    channels.add_argument("--only", default="",
+                          help="comma-separated experiment names (default: all)")
+    channels.set_defaults(func=cmd_channels)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="print a machine's abstract hardware model"
+    )
+    inspect.add_argument("--machine", choices=sorted(MACHINES), default="tiny")
+    inspect.set_defaults(func=cmd_inspect)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""The paper's primary contribution: the provability framework.
+
+Implements Sect. 5 of the paper as executable artefacts: the abstract
+microarchitectural model, the opaque time model with dependency-footprint
+witnesses, the proof obligations (PO-1..PO-7), the Sect. 5.2 case split,
+switch-boundary unwinding conditions, two-run noninterference
+experiments, and the assembled top-level proof.
+"""
+
+from .absmodel import AbstractElement, AbstractHardwareModel
+from .casesplit import CaseResult, CaseSplitAudit, audit
+from .invariants import (
+    Violation,
+    check_colour_disjointness,
+    check_kernel_image_disjointness,
+    check_partition_touches,
+    check_tlb_asid_isolation,
+    check_way_quotas,
+)
+from .noninterference import (
+    Divergence,
+    NonInterferenceResult,
+    secret_swap_experiment,
+    sweep_secrets,
+    trace_divergence,
+)
+from .obligations import (
+    ObligationResult,
+    check_all,
+    po1_complete_management,
+    po2_partitioning,
+    po3_flush_on_switch,
+    po4_constant_time_switch,
+    po5_padding_sufficient,
+    po6_interrupt_partitioning,
+    po7_kernel_shared_determinism,
+)
+from .proof import (
+    ProofReport,
+    STANDING_ASSUMPTIONS,
+    TimeProtectionProof,
+    prove_time_protection,
+)
+from .report import format_report
+from .timefn import (
+    ConfinementReport,
+    FootprintEntry,
+    TimeFunctionWitness,
+    check_confinement,
+    dependency_profile,
+    witnesses_from_kernel,
+)
+from .unwinding import UnwindingCheck, check_unwinding, lo_projection
+
+__all__ = [
+    "AbstractElement",
+    "AbstractHardwareModel",
+    "CaseResult",
+    "CaseSplitAudit",
+    "ConfinementReport",
+    "Divergence",
+    "FootprintEntry",
+    "NonInterferenceResult",
+    "ObligationResult",
+    "ProofReport",
+    "STANDING_ASSUMPTIONS",
+    "TimeFunctionWitness",
+    "TimeProtectionProof",
+    "UnwindingCheck",
+    "Violation",
+    "audit",
+    "check_all",
+    "check_colour_disjointness",
+    "check_confinement",
+    "check_kernel_image_disjointness",
+    "check_partition_touches",
+    "check_tlb_asid_isolation",
+    "check_way_quotas",
+    "check_unwinding",
+    "dependency_profile",
+    "format_report",
+    "lo_projection",
+    "po1_complete_management",
+    "po2_partitioning",
+    "po3_flush_on_switch",
+    "po4_constant_time_switch",
+    "po5_padding_sufficient",
+    "po6_interrupt_partitioning",
+    "po7_kernel_shared_determinism",
+    "prove_time_protection",
+    "secret_swap_experiment",
+    "sweep_secrets",
+    "trace_divergence",
+    "witnesses_from_kernel",
+]

@@ -1,0 +1,50 @@
+"""Human-readable rendering of proof reports."""
+
+from __future__ import annotations
+
+from .proof import ProofReport
+
+
+def format_report(report: ProofReport, verbose: bool = False) -> str:
+    """Render a :class:`ProofReport` as a plain-text document."""
+    lines = []
+    verdict = "THEOREM HOLDS" if report.holds else "THEOREM FAILS"
+    lines.append("=" * 72)
+    lines.append("TIME PROTECTION PROOF REPORT")
+    lines.append("=" * 72)
+    lines.append(f"Theorem: {report.theorem}")
+    lines.append(f"Verdict: {verdict}")
+    lines.append("")
+    lines.append("Abstract hardware model:")
+    for key in ("partitionable", "flushable", "unmanaged"):
+        names = report.model_summary.get(key, [])
+        lines.append(f"  {key:14s} ({len(names)}): {', '.join(names) or '-'}")
+    lines.append("")
+    lines.append("Proof obligations:")
+    for obligation in report.obligations:
+        lines.append("  " + str(obligation).replace("\n", "\n  "))
+    if report.case_split is not None:
+        lines.append("")
+        lines.append("Case split (Sect. 5.2):")
+        lines.append("  " + str(report.case_split).replace("\n", "\n  "))
+    if report.unwinding is not None:
+        lines.append("")
+        lines.append("Unwinding conditions:")
+        lines.append("  " + str(report.unwinding).replace("\n", "\n  "))
+    lines.append("")
+    lines.append("Noninterference (two-run secret swap):")
+    for result in report.noninterference:
+        lines.append("  " + str(result).replace("\n", "\n  "))
+    lines.append("")
+    lines.append("Standing assumptions:")
+    for assumption in report.assumptions:
+        lines.append(f"  * {assumption}")
+    for note in report.notes:
+        lines.append(f"  ! {note}")
+    if verbose and not report.holds:
+        lines.append("")
+        lines.append("Counterexamples:")
+        for example in report.counterexamples():
+            lines.append(f"  - {example}")
+    lines.append("=" * 72)
+    return "\n".join(lines)

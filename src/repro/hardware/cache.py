@@ -1,0 +1,400 @@
+"""Set-associative write-back caches with deterministic replacement.
+
+Caches are the canonical shared hardware resource behind
+microarchitectural timing channels (Sect. 3.1): a domain's hit/miss
+pattern -- and therefore its execution time -- depends on what earlier (or
+concurrent) occupants left in each set.  The simulator models this
+faithfully at the granularity the paper's argument needs: per-set
+occupancy, dirty lines (whose write-back makes *flush latency itself*
+history dependent, motivating padding, Sect. 4.2), and deterministic
+replacement so that whole-system runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .geometry import CacheGeometry
+from .state import (
+    FlushResult,
+    Instrumentation,
+    Scope,
+    StateCategory,
+    StateElement,
+    TouchKind,
+)
+
+
+class ReplacementPolicy(enum.Enum):
+    LRU = "lru"
+    FIFO = "fifo"
+    PLRU = "plru"
+
+
+@dataclass
+class CacheLine:
+    """One cache line: tag plus replacement/coherence metadata."""
+
+    tag: int
+    dirty: bool = False
+    stamp: int = 0  # LRU: last-use order; FIFO: fill order.
+    # Owning partition tag under way partitioning (None = shared pool).
+    owner: Optional[str] = None
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache lookup."""
+
+    hit: bool
+    set_index: int
+    dirty_writeback: bool = False
+    evicted_tag: Optional[int] = None
+
+
+@dataclass
+class LatencyParams:
+    """Deterministic latency constants for one cache level.
+
+    These constants instantiate the paper's "deterministic yet unspecified
+    function" from microarchitectural state to elapsed time: nothing in
+    the proof layer depends on their values, only on *which* state the
+    resulting latency reads.
+    """
+
+    hit_cycles: int
+    flush_base_cycles: int = 8
+    writeback_cycles_per_line: int = 6
+
+
+class Cache(StateElement):
+    """A set-associative, write-back, write-allocate cache.
+
+    Args:
+        name: unique element name (e.g. ``"core0.l1d"``).
+        geometry: set/way/line-size description.
+        category: how the OS may manage this cache (PARTITIONABLE for a
+            shared, physically-indexed LLC; FLUSHABLE for core-private
+            levels).
+        scope: CORE_LOCAL or SHARED.
+        latency: latency constants for this level.
+        page_size: machine page size, used for colour arithmetic.
+        policy: replacement policy (deterministic variants only).
+        instrumentation: shared touch recorder.
+        flush_is_broken: if True, ``flush()`` claims success but leaves a
+            fraction of lines resident -- a contract-violating machine for
+            experiment E9.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        geometry: CacheGeometry,
+        category: StateCategory,
+        scope: Scope,
+        latency: LatencyParams,
+        page_size: int,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        instrumentation: Optional[Instrumentation] = None,
+        flush_is_broken: bool = False,
+    ):
+        super().__init__(name, category, scope, instrumentation)
+        self.geometry = geometry
+        self.latency = latency
+        self.page_size = page_size
+        self.policy = policy
+        self.flush_is_broken = flush_is_broken
+        self._sets: List[List[CacheLine]] = [[] for _ in range(geometry.sets)]
+        self._tick = 0  # monotonic stamp source for LRU/FIFO ordering
+        # Tree-PLRU direction bits, one vector per set (ways-1 internal
+        # nodes of a binary tree over the ways).
+        self._plru_bits: List[int] = [0] * geometry.sets
+        # Intel CAT-style way partitioning: per-partition-tag quota of
+        # lines per set.  Empty dict = way partitioning off.  Quotas are
+        # enforced on every fill; a fill that would have to steal from
+        # another partition's quota is logged as a violation (it can only
+        # happen if the configured quotas over-commit the associativity).
+        self.way_quota: Dict[str, int] = {}
+        self.quota_violations: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Lookup / fill
+    # ------------------------------------------------------------------
+
+    def access(self, paddr: int, write: bool = False) -> AccessResult:
+        """Look up ``paddr``; on miss, allocate (evicting deterministically).
+
+        Returns an :class:`AccessResult`; the caller (the cache hierarchy)
+        composes latencies and propagates misses to the next level.
+        """
+        set_index = self.geometry.set_index(paddr)
+        tag = self.geometry.tag(paddr)
+        self._touch(set_index, TouchKind.WRITE if write else TouchKind.READ)
+        lines = self._sets[set_index]
+        self._tick += 1
+        for way, line in enumerate(lines):
+            if line.tag == tag:
+                if self.policy is ReplacementPolicy.LRU:
+                    line.stamp = self._tick
+                elif self.policy is ReplacementPolicy.PLRU:
+                    self._plru_point_away(set_index, way)
+                if write:
+                    line.dirty = True
+                return AccessResult(hit=True, set_index=set_index)
+        # Miss: fill, possibly evicting the replacement victim.
+        owner = self._owner_tag() if self.way_quota else None
+        dirty_writeback = False
+        evicted_tag = None
+        victim_way = self._fill_victim(set_index, lines, owner)
+        if victim_way is not None:
+            victim = lines.pop(victim_way)
+            evicted_tag = victim.tag
+            dirty_writeback = victim.dirty
+            self._touch(set_index, TouchKind.EVICT)
+            lines.insert(
+                victim_way,
+                CacheLine(tag=tag, dirty=write, stamp=self._tick, owner=owner),
+            )
+            if self.policy is ReplacementPolicy.PLRU:
+                self._plru_point_away(set_index, victim_way)
+        else:
+            lines.append(CacheLine(tag=tag, dirty=write, stamp=self._tick, owner=owner))
+            if self.policy is ReplacementPolicy.PLRU:
+                self._plru_point_away(set_index, len(lines) - 1)
+        self._touch(set_index, TouchKind.FILL)
+        return AccessResult(
+            hit=False,
+            set_index=set_index,
+            dirty_writeback=dirty_writeback,
+            evicted_tag=evicted_tag,
+        )
+
+    def _owner_tag(self) -> Optional[str]:
+        """Partition tag of the current execution context.
+
+        User execution and kernel-on-behalf both charge the domain's way
+        quota (kernel text is domain-cloned memory); the switch path's
+        shared-kernel accesses charge the reserved ``@kernel`` quota.
+        """
+        context = self.instr.current_domain
+        if context is None:
+            return None
+        if context.startswith("@switch"):
+            return "@kernel"
+        return context.partition("/")[0]
+
+    def _fill_victim(
+        self, set_index: int, lines: List[CacheLine], owner: Optional[str]
+    ) -> Optional[int]:
+        """Way to evict for a fill, or None to append into a free way.
+
+        Without way quotas this is plain capacity eviction.  With quotas
+        (CAT-style), a fill first recycles the owner's own lines once its
+        quota is reached, then free ways, then the unowned shared pool --
+        and never steals another partition's quota'd lines unless the
+        configuration over-committed the associativity (logged as a
+        violation).
+        """
+        quota = self.way_quota.get(owner) if owner is not None else None
+        if quota is not None:
+            own = [i for i, line in enumerate(lines) if line.owner == owner]
+            if len(own) >= quota:
+                return min(own, key=lambda i: lines[i].stamp)
+        if len(lines) < self.geometry.ways:
+            return None
+        if not self.way_quota:
+            return self._select_victim(set_index, lines)
+        shared = [
+            i
+            for i, line in enumerate(lines)
+            if line.owner is None or line.owner not in self.way_quota
+        ]
+        if shared:
+            return min(shared, key=lambda i: lines[i].stamp)
+        own = [i for i, line in enumerate(lines) if line.owner == owner]
+        if own:
+            return min(own, key=lambda i: lines[i].stamp)
+        self.quota_violations.append(
+            f"set {set_index}: fill by {owner!r} had to steal a quota'd line "
+            f"(over-committed way allocation)"
+        )
+        return self._select_victim(set_index, lines)
+
+    def _select_victim(self, set_index: int, lines: List[CacheLine]) -> int:
+        """Index of the way to evict from a full set (deterministic)."""
+        if self.policy is ReplacementPolicy.PLRU:
+            return self._plru_victim(set_index)
+        # LRU and FIFO both evict the minimum stamp: LRU refreshes the
+        # stamp on every hit, FIFO stamps only at fill time.
+        oldest_way = 0
+        for way, line in enumerate(lines):
+            if line.stamp < lines[oldest_way].stamp:
+                oldest_way = way
+        return oldest_way
+
+    # ------------------------------------------------------------------
+    # Tree-PLRU helpers (ways must be a power of two for PLRU)
+    # ------------------------------------------------------------------
+
+    def _plru_victim(self, set_index: int) -> int:
+        ways = self.geometry.ways
+        bits = self._plru_bits[set_index]
+        node = 1
+        while node < ways:
+            direction = (bits >> node) & 1
+            node = 2 * node + direction
+        return node - ways
+
+    def _plru_point_away(self, set_index: int, way: int) -> None:
+        """Set tree bits so the next victim walk avoids ``way``."""
+        ways = self.geometry.ways
+        if ways & (ways - 1):  # PLRU needs a power-of-two associativity
+            return
+        bits = self._plru_bits[set_index]
+        node = 1
+        depth = ways.bit_length() - 2
+        while node < ways:
+            direction = (way >> depth) & 1
+            # Point the bit at the *other* subtree.
+            if direction == 0:
+                bits |= 1 << node
+            else:
+                bits &= ~(1 << node)
+            node = 2 * node + direction
+            depth -= 1
+        self._plru_bits[set_index] = bits
+
+    def probe(self, paddr: int) -> bool:
+        """Non-allocating presence check (no state change, no touch)."""
+        set_index = self.geometry.set_index(paddr)
+        tag = self.geometry.tag(paddr)
+        return any(line.tag == tag for line in self._sets[set_index])
+
+    def invalidate_line(self, paddr: int) -> bool:
+        """Evict the line holding ``paddr`` (a ``clflush``-style primitive)."""
+        set_index = self.geometry.set_index(paddr)
+        tag = self.geometry.tag(paddr)
+        lines = self._sets[set_index]
+        for line in lines:
+            if line.tag == tag:
+                lines.remove(line)
+                self._touch(set_index, TouchKind.EVICT)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Occupancy inspection (read-only; used by checkers and tests)
+    # ------------------------------------------------------------------
+
+    def occupancy(self, set_index: int) -> int:
+        """Number of valid lines in ``set_index``."""
+        return len(self._sets[set_index])
+
+    def dirty_line_count(self) -> int:
+        """Total number of dirty lines (determines flush latency)."""
+        return sum(
+            1 for lines in self._sets for line in lines if line.dirty
+        )
+
+    def resident_tags(self, set_index: int) -> Tuple[int, ...]:
+        """Tags currently resident in ``set_index`` (sorted)."""
+        return tuple(sorted(line.tag for line in self._sets[set_index]))
+
+    # ------------------------------------------------------------------
+    # StateElement protocol
+    # ------------------------------------------------------------------
+
+    def flush(self) -> FlushResult:
+        """Write back dirty lines and invalidate everything.
+
+        The latency depends on execution history (number of dirty lines),
+        which is exactly the channel that switch-latency padding closes.
+        A ``flush_is_broken`` cache leaves every fourth set resident,
+        modelling hardware whose flush operation does not actually reset
+        all state (an aISA violation).
+        """
+        dirty = self.dirty_line_count()
+        cycles = (
+            self.latency.flush_base_cycles
+            + dirty * self.latency.writeback_cycles_per_line
+        )
+        if self.flush_is_broken:
+            for set_index, lines in enumerate(self._sets):
+                if set_index % 4 != 0:
+                    self._sets[set_index] = []
+                else:
+                    for line in lines:
+                        line.dirty = False
+        else:
+            self._sets = [[] for _ in range(self.geometry.sets)]
+            self._plru_bits = [0] * self.geometry.sets
+        return FlushResult(cycles=cycles, lines_written_back=dirty)
+
+    def fingerprint(self) -> Hashable:
+        occupancy = tuple(
+            (set_index, tuple(sorted((line.tag, line.dirty) for line in lines)))
+            for set_index, lines in enumerate(self._sets)
+            if lines
+        )
+        plru = tuple(
+            (set_index, bits)
+            for set_index, bits in enumerate(self._plru_bits)
+            if bits
+        )
+        return (occupancy, plru)
+
+    def reset_fingerprint(self) -> Hashable:
+        return ((), ())
+
+    def partition_of_index(self, index: Hashable) -> Hashable:
+        return self.geometry.colour_of_set(int(index), self.page_size)
+
+    @property
+    def n_partitions(self) -> int:
+        """Colour partitions, or way-quota partitions when CAT-style
+        allocation is configured (either mechanism satisfies Sect. 4.1's
+        partitioning requirement)."""
+        colours = self.geometry.n_colours(self.page_size)
+        if self.way_quota:
+            return max(colours, len(self.way_quota))
+        return colours
+
+    def set_way_quotas(self, quotas: Dict[str, int]) -> None:
+        """Install CAT-style per-partition way quotas (lines per set).
+
+        Way quotas partition *capacity*, not addresses: a lookup hits on
+        whichever way holds the line, whoever filled it (as on real CAT
+        hardware).  Isolation therefore additionally requires that
+        partitions never share physical frames -- which the kernel's
+        colour allocator and clone mechanism already guarantee.
+
+        Raises:
+            ValueError: if the quotas over-commit the associativity.
+        """
+        total = sum(quotas.values())
+        if total > self.geometry.ways:
+            raise ValueError(
+                f"way quotas total {total} exceed associativity "
+                f"{self.geometry.ways}"
+            )
+        self.way_quota = dict(quotas)
+
+    def occupancy_by_owner(self, set_index: int) -> Dict[Optional[str], int]:
+        """Lines per owner in one set (for quota auditing)."""
+        result: Dict[Optional[str], int] = {}
+        for line in self._sets[set_index]:
+            result[line.owner] = result.get(line.owner, 0) + 1
+        return result
+
+    def quotas_respected(self) -> bool:
+        """True iff no set holds more lines of a partition than its quota."""
+        if not self.way_quota:
+            return True
+        for set_index in range(self.geometry.sets):
+            for owner, count in self.occupancy_by_owner(set_index).items():
+                quota = self.way_quota.get(owner)
+                if quota is not None and count > quota:
+                    return False
+        return True

@@ -1,0 +1,41 @@
+"""The time model: per-core cycle clocks.
+
+Sect. 5.1 of the paper defines the time model as a clock whose advance on
+each execution step is "a deterministic yet unspecified function of the
+microarchitectural state".  The simulator instantiates that function
+concretely (hit/miss costs, write-back costs, mispredict penalties), but
+the proof layer treats it as opaque: it only ever *compares* timestamps
+(for the padding obligation) and checks *which state the latency read*
+(via instrumentation footprints), never the constants themselves.
+"""
+
+from __future__ import annotations
+
+
+class CycleClock:
+    """A monotonic per-core cycle counter."""
+
+    def __init__(self, start: int = 0):
+        self._cycles = int(start)
+
+    @property
+    def now(self) -> int:
+        return self._cycles
+
+    def advance(self, cycles: int) -> int:
+        """Advance by ``cycles`` (>= 0); returns the new time."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by {cycles} cycles")
+        self._cycles += cycles
+        return self._cycles
+
+    def advance_to(self, target: int) -> int:
+        """Busy-wait until ``target`` (no-op if already past).
+
+        This is the padding primitive: the kernel pads the domain-switch
+        latency by spinning until a pre-computed release time, turning a
+        history-dependent latency into a constant one (Sect. 4.2).
+        """
+        if target > self._cycles:
+            self._cycles = target
+        return self._cycles

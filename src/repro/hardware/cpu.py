@@ -1,0 +1,302 @@
+"""An abstract in-order core and its memory access paths.
+
+The core composes every latency from the state elements an instruction
+consults: instruction fetch through the I-cache, address translation
+through the TLB (with page-table walks through the data hierarchy),
+loads/stores through L1D -> L2 -> LLC -> interconnect -> memory, branch
+resolution through the predictor.  The resulting per-instruction latency
+is the concrete instance of the paper's "deterministic yet unspecified
+function of the microarchitectural state" (Sect. 5.1): deterministic
+because the simulator is; unspecified because nothing above this module
+ever depends on the constants, only on the dependence structure, which is
+recorded in the instrumentation footprint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .branch import BranchPredictor
+from .cache import Cache
+from .clock import CycleClock
+from .interconnect import Interconnect
+from .interrupts import InterruptController
+from .isa import (
+    Access,
+    Branch,
+    Compute,
+    FlushLine,
+    Halt,
+    Instruction,
+    ReadTime,
+    Syscall,
+)
+from .memory import PhysicalMemory
+from .mmu import AddressSpace, TranslationFault
+from .prefetcher import StridePrefetcher
+from .tlb import Tlb
+
+
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Global latency constants outside the per-cache parameters."""
+
+    base_cycles: int = 1
+    dram_cycles: int = 60
+    tlb_hit_cycles: int = 1
+    tlb_walk_base_cycles: int = 8
+    mispredict_penalty_cycles: int = 18
+    readtime_cycles: int = 8
+    flush_line_cycles: int = 24
+    trap_entry_cycles: int = 20
+
+
+class TrapKind(enum.Enum):
+    SYSCALL = "syscall"
+    FAULT = "fault"
+    HALT = "halt"
+
+
+@dataclass
+class Trap:
+    kind: TrapKind
+    syscall: Optional[Syscall] = None
+    fault_vaddr: Optional[int] = None
+
+
+@dataclass
+class StepResult:
+    """Outcome of executing one user instruction."""
+
+    latency: int
+    value: Optional[int]
+    new_pc: int
+    trap: Optional[Trap] = None
+
+
+class Core:
+    """One hardware thread: private state plus handles to shared levels."""
+
+    def __init__(
+        self,
+        core_id: int,
+        clock: CycleClock,
+        l1i: Cache,
+        l1d: Cache,
+        l2: Cache,
+        llc: Cache,
+        tlb: Tlb,
+        branch: BranchPredictor,
+        prefetcher: StridePrefetcher,
+        irq: InterruptController,
+        interconnect: Interconnect,
+        memory: PhysicalMemory,
+        latency: LatencyConfig,
+    ):
+        self.core_id = core_id
+        self.clock = clock
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = l2
+        self.llc = llc
+        self.tlb = tlb
+        self.branch = branch
+        self.prefetcher = prefetcher
+        self.irq = irq
+        self.interconnect = interconnect
+        self.memory = memory
+        self.latency = latency
+
+    # ------------------------------------------------------------------
+    # Cached physical access paths
+    # ------------------------------------------------------------------
+
+    def cached_access(self, paddr: int, write: bool = False, fetch: bool = False) -> int:
+        """Access ``paddr`` through the hierarchy; returns latency in cycles.
+
+        L1 (I or D) -> unified private L2 -> shared LLC -> interconnect ->
+        DRAM.  Dirty evictions add write-back cost; LLC misses and LLC
+        dirty evictions occupy the shared interconnect, which is where
+        cross-core contention (the excluded stateless-interconnect
+        channel) physically lives.
+        """
+        l1 = self.l1i if fetch else self.l1d
+        cycles = l1.latency.hit_cycles
+        result = l1.access(paddr, write=write)
+        if result.dirty_writeback:
+            cycles += l1.latency.writeback_cycles_per_line
+        if result.hit:
+            return cycles
+        if not fetch:
+            for prefetch_addr in self.prefetcher.observe(paddr):
+                # Prefetches fill L2 off the critical path (no latency
+                # charged) but perturb future hit/miss behaviour.
+                self.l2.access(prefetch_addr, write=False)
+        l2_result = self.l2.access(paddr, write=False)
+        cycles += self.l2.latency.hit_cycles
+        if l2_result.dirty_writeback:
+            cycles += self.l2.latency.writeback_cycles_per_line
+        if l2_result.hit:
+            return cycles
+        llc_result = self.llc.access(paddr, write=False)
+        cycles += self.llc.latency.hit_cycles
+        if llc_result.dirty_writeback:
+            transfer = self.interconnect.request(self.core_id, self.clock.now + cycles)
+            cycles += transfer.total_cycles
+        if llc_result.hit:
+            return cycles
+        transfer = self.interconnect.request(self.core_id, self.clock.now + cycles)
+        cycles += transfer.total_cycles + self.latency.dram_cycles
+        return cycles
+
+    def translate(self, space: AddressSpace, vaddr: int) -> Tuple[int, int]:
+        """Translate ``vaddr`` via the TLB; returns (latency, paddr).
+
+        A TLB miss performs a page-table walk whose reads go through the
+        data hierarchy, then refills the TLB.  Raises
+        :class:`TranslationFault` for unmapped addresses.
+        """
+        vpage = vaddr // space.page_size
+        lookup = self.tlb.lookup(space.asid, vpage)
+        if lookup.hit:
+            paddr = (
+                lookup.frame_number * space.page_size + vaddr % space.page_size
+            )
+            return self.latency.tlb_hit_cycles, paddr
+        cycles = self.latency.tlb_walk_base_cycles
+        for walk_paddr in space.walk_addresses(vaddr):
+            cycles += self.cached_access(walk_paddr, write=False)
+        mapping = space.lookup(vaddr)  # may raise TranslationFault
+        self.tlb.fill(
+            asid=space.asid,
+            vpage=vpage,
+            frame_number=mapping.frame.number,
+            writable=mapping.writable,
+            generation=space.generation,
+        )
+        paddr = mapping.frame.base_paddr(space.page_size) + vaddr % space.page_size
+        return cycles, paddr
+
+    def flush_line_everywhere(self, paddr: int) -> int:
+        """User-level ``clflush``: drop the line from every level."""
+        self.l1d.invalidate_line(paddr)
+        self.l1i.invalidate_line(paddr)
+        self.l2.invalidate_line(paddr)
+        self.llc.invalidate_line(paddr)
+        return self.latency.flush_line_cycles
+
+    # ------------------------------------------------------------------
+    # Instruction execution
+    # ------------------------------------------------------------------
+
+    def execute_user(
+        self, space: AddressSpace, pc: int, instr: Instruction
+    ) -> StepResult:
+        """Execute one user instruction; advances this core's clock.
+
+        Returns a :class:`StepResult`; ``trap`` is set for syscalls,
+        translation faults and halts, which the kernel model handles.
+        """
+        cycles = self.latency.base_cycles
+        # Instruction fetch through the I-cache (translated pc).
+        try:
+            fetch_latency, fetch_paddr = self.translate(space, pc)
+        except TranslationFault:
+            self.clock.advance(cycles + self.latency.trap_entry_cycles)
+            return StepResult(
+                latency=cycles,
+                value=None,
+                new_pc=pc,
+                trap=Trap(kind=TrapKind.FAULT, fault_vaddr=pc),
+            )
+        cycles += fetch_latency
+        cycles += self.cached_access(fetch_paddr, write=False, fetch=True)
+        value: Optional[int] = None
+        new_pc = pc + INSTRUCTION_BYTES
+
+        if isinstance(instr, Compute):
+            cycles += max(0, instr.cycles)
+        elif isinstance(instr, Access):
+            try:
+                translate_latency, paddr = self.translate(space, instr.vaddr)
+            except TranslationFault:
+                self.clock.advance(cycles + self.latency.trap_entry_cycles)
+                return StepResult(
+                    latency=cycles,
+                    value=None,
+                    new_pc=pc,
+                    trap=Trap(kind=TrapKind.FAULT, fault_vaddr=instr.vaddr),
+                )
+            cycles += translate_latency
+            cycles += self.cached_access(paddr, write=instr.write)
+            if instr.write:
+                self.memory.write_word(paddr, instr.value)
+                value = instr.value
+            else:
+                value = self.memory.read_word(paddr)
+        elif isinstance(instr, Branch):
+            target = (
+                instr.target
+                if instr.target is not None
+                else pc + 2 * INSTRUCTION_BYTES
+            )
+            prediction = self.branch.predict_and_update(pc, instr.taken, target)
+            if prediction.mispredicted:
+                cycles += self.latency.mispredict_penalty_cycles
+            new_pc = target if instr.taken else pc + INSTRUCTION_BYTES
+        elif isinstance(instr, ReadTime):
+            cycles += self.latency.readtime_cycles
+            self.clock.advance(cycles)
+            return StepResult(latency=cycles, value=self.clock.now, new_pc=new_pc)
+        elif isinstance(instr, FlushLine):
+            try:
+                translate_latency, paddr = self.translate(space, instr.vaddr)
+            except TranslationFault:
+                self.clock.advance(cycles + self.latency.trap_entry_cycles)
+                return StepResult(
+                    latency=cycles,
+                    value=None,
+                    new_pc=pc,
+                    trap=Trap(kind=TrapKind.FAULT, fault_vaddr=instr.vaddr),
+                )
+            cycles += translate_latency
+            cycles += self.flush_line_everywhere(paddr)
+        elif isinstance(instr, Syscall):
+            cycles += self.latency.trap_entry_cycles
+            self.clock.advance(cycles)
+            return StepResult(
+                latency=cycles,
+                value=None,
+                new_pc=new_pc,
+                trap=Trap(kind=TrapKind.SYSCALL, syscall=instr),
+            )
+        elif isinstance(instr, Halt):
+            self.clock.advance(cycles)
+            return StepResult(
+                latency=cycles, value=None, new_pc=pc, trap=Trap(kind=TrapKind.HALT)
+            )
+        else:
+            raise TypeError(f"unknown instruction {instr!r}")
+
+        self.clock.advance(cycles)
+        return StepResult(latency=cycles, value=value, new_pc=new_pc)
+
+    # ------------------------------------------------------------------
+    # State-element enumeration (consumed by the abstract model)
+    # ------------------------------------------------------------------
+
+    def private_elements(self) -> List:
+        """This core's time-multiplexed (flush-candidate) state elements."""
+        return [
+            self.l1i,
+            self.l1d,
+            self.l2,
+            self.tlb,
+            self.branch,
+            self.prefetcher,
+        ]

@@ -1,0 +1,132 @@
+"""Cache and TLB geometry descriptions and page-colour arithmetic.
+
+Page colouring (Kessler & Hill [1992], Lynch et al. [1992], Liedtke et
+al. [1997]) exploits the fact that the set-associative lookup of a
+physically-indexed cache forces all lines of a physical page into a fixed,
+page-determined subset of the cache sets.  Two pages compete for cache
+space only if they have the same *colour*.  The number of distinct colours
+of a cache is::
+
+    n_colours = sets * line_size / page_size
+
+(1 when a single page covers every set, as for typical L1 caches, in which
+case the cache cannot be partitioned by the OS and must be flushed
+instead -- exactly the distinction Sect. 4.1 of the paper draws.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _log2(value: int) -> int:
+    if not _is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a set-associative cache.
+
+    Attributes:
+        sets: number of cache sets (power of two).
+        ways: associativity (lines per set).
+        line_size: bytes per cache line (power of two).
+    """
+
+    sets: int
+    ways: int
+    line_size: int
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.sets):
+            raise ValueError(f"sets must be a power of two, got {self.sets}")
+        if not _is_power_of_two(self.line_size):
+            raise ValueError(
+                f"line_size must be a power of two, got {self.line_size}"
+            )
+        if self.ways < 1:
+            raise ValueError(f"ways must be >= 1, got {self.ways}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity of the cache in bytes."""
+        return self.sets * self.ways * self.line_size
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of line-offset bits in an address."""
+        return _log2(self.line_size)
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits in an address."""
+        return _log2(self.sets)
+
+    def set_index(self, paddr: int) -> int:
+        """Cache set that physical address ``paddr`` maps to."""
+        return (paddr >> self.offset_bits) & (self.sets - 1)
+
+    def line_address(self, paddr: int) -> int:
+        """Address of the start of the line containing ``paddr``."""
+        return paddr & ~(self.line_size - 1)
+
+    def tag(self, paddr: int) -> int:
+        """Tag portion of ``paddr`` (everything above the set index)."""
+        return paddr >> (self.offset_bits + self.index_bits)
+
+    def n_colours(self, page_size: int) -> int:
+        """Number of page colours this cache supports.
+
+        A cache whose per-way capacity does not exceed the page size has a
+        single colour and cannot be partitioned by page allocation.
+        """
+        if not _is_power_of_two(page_size):
+            raise ValueError(f"page_size must be a power of two, got {page_size}")
+        colours = self.sets * self.line_size // page_size
+        return max(1, colours)
+
+    def sets_per_colour(self, page_size: int) -> int:
+        """Number of consecutive sets that belong to one colour."""
+        n = self.n_colours(page_size)
+        return self.sets // n if n > 1 else self.sets
+
+    def colour_of_set(self, set_index: int, page_size: int) -> int:
+        """Colour that cache set ``set_index`` belongs to."""
+        n = self.n_colours(page_size)
+        if n == 1:
+            return 0
+        return set_index // self.sets_per_colour(page_size)
+
+    def colour_of_paddr(self, paddr: int, page_size: int) -> int:
+        """Colour of the physical page containing ``paddr``."""
+        return self.colour_of_set(self.set_index(paddr), page_size)
+
+
+def colour_of_frame(frame_number: int, n_colours: int) -> int:
+    """Colour of physical frame ``frame_number`` for an ``n_colours`` cache.
+
+    Frames cycle through colours: consecutive frames get consecutive
+    colours, so ``frame % n_colours`` is the page colour.  This matches
+    :meth:`CacheGeometry.colour_of_paddr` for physically-indexed caches
+    whose index bits extend ``log2(n_colours)`` bits above the page offset.
+    """
+    if n_colours < 1:
+        raise ValueError(f"n_colours must be >= 1, got {n_colours}")
+    return frame_number % n_colours
+
+
+@dataclass(frozen=True)
+class TlbGeometry:
+    """Geometry of a (fully-associative, ASID-tagged) TLB."""
+
+    entries: int
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ValueError(f"entries must be >= 1, got {self.entries}")

@@ -1,0 +1,90 @@
+"""Physical memory: frames, frame allocation, and page colours.
+
+Physical frames are the unit the OS hands to domains; the *colour* of a
+frame (which LLC sets its lines land in) is what the colour-aware
+allocator in ``repro.kernel.colour_alloc`` partitions.  Memory contents
+are modelled word-by-word in a sparse dict -- enough for message passing
+and for secret-dependent table lookups, without simulating real data
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from .geometry import colour_of_frame
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One physical memory frame."""
+
+    number: int
+    colour: int
+
+    def base_paddr(self, page_size: int) -> int:
+        return self.number * page_size
+
+
+class PhysicalMemory:
+    """Flat physical memory split into colourable frames."""
+
+    def __init__(self, total_frames: int, page_size: int, n_colours: int):
+        if total_frames < 1:
+            raise ValueError("total_frames must be >= 1")
+        if n_colours < 1:
+            raise ValueError("n_colours must be >= 1")
+        self.page_size = page_size
+        self.n_colours = n_colours
+        self.frames: List[Frame] = [
+            Frame(number=n, colour=colour_of_frame(n, n_colours))
+            for n in range(total_frames)
+        ]
+        self._free: List[Frame] = list(self.frames)
+        self._words: Dict[int, int] = {}
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.frames) * self.page_size
+
+    # ------------------------------------------------------------------
+    # Frame allocation
+    # ------------------------------------------------------------------
+
+    def free_frames(self, colours: Optional[Set[int]] = None) -> int:
+        """Number of free frames, optionally restricted to ``colours``."""
+        if colours is None:
+            return len(self._free)
+        return sum(1 for frame in self._free if frame.colour in colours)
+
+    def alloc_frame(self, colours: Optional[Set[int]] = None) -> Frame:
+        """Allocate the lowest-numbered free frame of an allowed colour.
+
+        Raises:
+            MemoryError: if no free frame of an allowed colour exists.
+        """
+        for position, frame in enumerate(self._free):
+            if colours is None or frame.colour in colours:
+                return self._free.pop(position)
+        raise MemoryError(
+            f"out of physical frames for colours {sorted(colours or set())}"
+        )
+
+    def alloc_frames(self, count: int, colours: Optional[Set[int]] = None) -> List[Frame]:
+        return [self.alloc_frame(colours) for _ in range(count)]
+
+    def release(self, frames: Iterable[Frame]) -> None:
+        """Return frames to the free pool (kept sorted for determinism)."""
+        self._free.extend(frames)
+        self._free.sort(key=lambda frame: frame.number)
+
+    # ------------------------------------------------------------------
+    # Data plane (word granularity; addresses are byte addresses)
+    # ------------------------------------------------------------------
+
+    def read_word(self, paddr: int) -> int:
+        return self._words.get(paddr, 0)
+
+    def write_word(self, paddr: int, value: int) -> None:
+        self._words[paddr] = value

@@ -1,0 +1,228 @@
+"""Microarchitectural state elements and touch instrumentation.
+
+This module implements the hardware side of the paper's central
+abstraction (Sect. 5.1): all microarchitectural state that influences
+execution time is modelled as a collection of named *state elements*, each
+of which must be either
+
+* ``PARTITIONABLE`` -- spatially divisible between security domains (a
+  physically-indexed shared cache, via page colouring), or
+* ``FLUSHABLE`` -- resettable to a defined, history-independent state
+  between time-multiplexed accesses (core-private caches, TLBs, branch
+  predictors, prefetchers),
+
+and any element that is neither is ``UNMANAGED``: a violation of the
+security-oriented hardware-software contract (the aISA of Ge et al.
+[2018a]) under which the paper's proof becomes possible.
+
+Every element reports *touches* -- (element, index) pairs consulted or
+modified by an execution step -- to a shared :class:`Instrumentation`
+recorder.  The proof layer (``repro.core``) consumes these records to
+discharge the partitioning and flushing obligations without ever reasoning
+about concrete latencies, exactly as the paper proposes.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+
+class StateCategory(enum.Enum):
+    """How a state element can be managed by the OS (Sect. 4.1)."""
+
+    PARTITIONABLE = "partitionable"
+    FLUSHABLE = "flushable"
+    UNMANAGED = "unmanaged"
+
+
+class Scope(enum.Enum):
+    """Whether an element is private to one execution stream.
+
+    Flushing is only a valid defence for ``CORE_LOCAL`` state: resetting
+    "only works for resources that are private to an execution stream"
+    (Sect. 4.1).  Concurrently shared state must be partitioned.
+    """
+
+    CORE_LOCAL = "core_local"
+    SHARED = "shared"
+
+
+class TouchKind(enum.Enum):
+    """Why a state element index was touched."""
+
+    READ = "read"
+    WRITE = "write"
+    FILL = "fill"
+    EVICT = "evict"
+    PREDICT = "predict"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class Touch:
+    """One recorded access to microarchitectural state."""
+
+    element: str
+    index: Hashable
+    kind: TouchKind
+    domain: Optional[str]
+    core: int
+    cycle: int
+
+
+class InstrumentationMode(enum.Enum):
+    OFF = "off"
+    SUMMARY = "summary"
+    FULL = "full"
+
+
+class Instrumentation:
+    """Records which state each domain touches, and when.
+
+    ``SUMMARY`` mode keeps, per (domain, element), the set of touched
+    indices -- sufficient for the partitioning obligation (PO-2).
+    ``FULL`` mode additionally keeps the ordered event list, which the
+    case-split audit (Sect. 5.2) and the kernel-determinism obligation
+    (PO-7) need.  ``OFF`` disables recording for high-volume benchmark
+    runs.
+    """
+
+    def __init__(self, mode: InstrumentationMode = InstrumentationMode.SUMMARY):
+        self.mode = mode
+        self.summary: Dict[Tuple[Optional[str], str], Set[Hashable]] = {}
+        self.events: List[Touch] = []
+        # Mutable execution context, maintained by the machine.
+        self.current_domain: Optional[str] = None
+        self.current_core: int = 0
+        self.current_cycle: int = 0
+        # Per-step latency dependency footprint (the paper's "unspecified
+        # deterministic function" argument list); reset by the CPU at each
+        # instruction boundary when footprint tracking is enabled.
+        self.track_footprint = False
+        self.footprint: List[Tuple[str, Hashable, TouchKind]] = []
+
+    def set_context(self, domain: Optional[str], core: int, cycle: int) -> None:
+        self.current_domain = domain
+        self.current_core = core
+        self.current_cycle = cycle
+
+    def touch(self, element: str, index: Hashable, kind: TouchKind) -> None:
+        if self.track_footprint:
+            self.footprint.append((element, index, kind))
+        if self.mode is InstrumentationMode.OFF:
+            return
+        key = (self.current_domain, element)
+        bucket = self.summary.get(key)
+        if bucket is None:
+            bucket = set()
+            self.summary[key] = bucket
+        bucket.add(index)
+        if self.mode is InstrumentationMode.FULL:
+            self.events.append(
+                Touch(
+                    element=element,
+                    index=index,
+                    kind=kind,
+                    domain=self.current_domain,
+                    core=self.current_core,
+                    cycle=self.current_cycle,
+                )
+            )
+
+    def reset_footprint(self) -> None:
+        self.footprint = []
+
+    def touched_indices(self, domain: Optional[str], element: str) -> Set[Hashable]:
+        """Set of indices of ``element`` touched while ``domain`` ran."""
+        return set(self.summary.get((domain, element), set()))
+
+    def clear(self) -> None:
+        self.summary.clear()
+        self.events.clear()
+        self.footprint = []
+
+
+@dataclass
+class FlushResult:
+    """Outcome of flushing a state element.
+
+    The latency is *history dependent* (e.g. proportional to the number of
+    dirty lines written back) -- which is precisely why the domain-switch
+    latency must be padded to a constant (Sect. 4.2).
+    """
+
+    cycles: int
+    lines_written_back: int = 0
+
+
+class StateElement(abc.ABC):
+    """Base class for every piece of timing-relevant hardware state."""
+
+    def __init__(
+        self,
+        name: str,
+        category: StateCategory,
+        scope: Scope,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        self.name = name
+        self.category = category
+        self.scope = scope
+        self.instr = instrumentation if instrumentation is not None else Instrumentation(
+            InstrumentationMode.OFF
+        )
+        # Set to True by the machine when two hardware threads share this
+        # element concurrently (SMT); flushing is then ineffective and the
+        # abstract-model extraction reclassifies the element as UNMANAGED.
+        self.concurrently_shared = scope is Scope.SHARED
+
+    def _touch(self, index: Hashable, kind: TouchKind) -> None:
+        self.instr.touch(self.name, index, kind)
+
+    @abc.abstractmethod
+    def flush(self) -> FlushResult:
+        """Reset to the defined, history-independent state."""
+
+    @abc.abstractmethod
+    def fingerprint(self) -> Hashable:
+        """Canonical digest of the element's full state.
+
+        Used by the flush obligation (state after flush must equal the
+        reset state) and by the unwinding checker (Lo-equivalence of
+        hardware state across two runs).
+        """
+
+    @abc.abstractmethod
+    def reset_fingerprint(self) -> Hashable:
+        """Fingerprint of the post-flush (history-independent) state."""
+
+    def partition_of_index(self, index: Hashable) -> Hashable:
+        """Partition that a touch index belongs to.
+
+        For colour-partitioned caches this is the page colour of the set;
+        elements that are not partitionable map everything to partition 0.
+        """
+        return 0
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of distinct partitions this element supports."""
+        return 1
+
+    def effective_category(self) -> StateCategory:
+        """Category after accounting for concurrent sharing.
+
+        A FLUSHABLE element that is concurrently shared (e.g. an L1 cache
+        shared by two hyperthreads of different domains) cannot actually
+        be separated in time, so flushing it is ineffective: the abstract
+        model must treat it as UNMANAGED.  A PARTITIONABLE element with a
+        single partition likewise offers no separation.
+        """
+        if self.category is StateCategory.FLUSHABLE and self.concurrently_shared:
+            return StateCategory.UNMANAGED
+        if self.category is StateCategory.PARTITIONABLE and self.n_partitions < 2:
+            return StateCategory.UNMANAGED
+        return self.category

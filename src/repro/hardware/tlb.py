@@ -1,0 +1,163 @@
+"""An ASID-tagged TLB in the style of Syeda & Klein [2018].
+
+Sect. 5.3 of the paper points at the Syeda & Klein ITP'18 TLB model as the
+template for the kind of abstraction it wants for timing state: a
+high-level model in which one can show that page-table modifications under
+one ASID do not affect TLB *consistency* for any other ASID.  Our TLB
+mirrors that structure -- entries are (ASID, vpage) -> frame with explicit
+invalidation operations -- and additionally participates in the time
+model: hits and misses have different costs, and a miss triggers a
+page-table walk through the data cache.
+
+The TLB is core-local, so time protection treats it as FLUSHABLE; the
+ASID-partitioning theorem of E12 is checked on top via instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from .geometry import TlbGeometry
+from .state import (
+    FlushResult,
+    Instrumentation,
+    Scope,
+    StateCategory,
+    StateElement,
+    TouchKind,
+)
+
+
+@dataclass
+class TlbEntry:
+    asid: int
+    vpage: int
+    frame_number: int
+    writable: bool
+    stamp: int
+    generation: int  # address-space generation at fill time
+
+
+@dataclass
+class TlbLookupResult:
+    hit: bool
+    frame_number: Optional[int] = None
+    writable: bool = True
+
+
+class Tlb(StateElement):
+    """Fully-associative, LRU, ASID-tagged TLB."""
+
+    def __init__(
+        self,
+        name: str,
+        geometry: TlbGeometry,
+        instrumentation: Optional[Instrumentation] = None,
+        flush_latency_cycles: int = 12,
+    ):
+        super().__init__(
+            name, StateCategory.FLUSHABLE, Scope.CORE_LOCAL, instrumentation
+        )
+        self.geometry = geometry
+        self.flush_latency_cycles = flush_latency_cycles
+        self._entries: Dict[Tuple[int, int], TlbEntry] = {}
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / fill / invalidate
+    # ------------------------------------------------------------------
+
+    def lookup(self, asid: int, vpage: int) -> TlbLookupResult:
+        self._tick += 1
+        key = (asid, vpage)
+        self._touch(key, TouchKind.READ)
+        entry = self._entries.get(key)
+        if entry is None:
+            return TlbLookupResult(hit=False)
+        entry.stamp = self._tick
+        return TlbLookupResult(
+            hit=True, frame_number=entry.frame_number, writable=entry.writable
+        )
+
+    def fill(
+        self,
+        asid: int,
+        vpage: int,
+        frame_number: int,
+        writable: bool,
+        generation: int,
+    ) -> None:
+        """Install a translation, evicting the LRU entry when full."""
+        self._tick += 1
+        if len(self._entries) >= self.geometry.entries:
+            victim_key = min(self._entries, key=lambda k: self._entries[k].stamp)
+            self._touch(victim_key, TouchKind.EVICT)
+            del self._entries[victim_key]
+        self._entries[(asid, vpage)] = TlbEntry(
+            asid=asid,
+            vpage=vpage,
+            frame_number=frame_number,
+            writable=writable,
+            stamp=self._tick,
+            generation=generation,
+        )
+        self._touch((asid, vpage), TouchKind.FILL)
+
+    def invalidate_asid(self, asid: int) -> int:
+        """Drop all entries of one ASID; returns the number removed."""
+        victims = [key for key in self._entries if key[0] == asid]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+    def invalidate_page(self, asid: int, vpage: int) -> bool:
+        return self._entries.pop((asid, vpage), None) is not None
+
+    # ------------------------------------------------------------------
+    # Consistency predicates (the Syeda & Klein-style theorem surface)
+    # ------------------------------------------------------------------
+
+    def entries_for_asid(self, asid: int) -> Dict[int, TlbEntry]:
+        """Snapshot of this ASID's entries, keyed by virtual page."""
+        return {
+            vpage: entry
+            for (entry_asid, vpage), entry in self._entries.items()
+            if entry_asid == asid
+        }
+
+    def consistent_with(self, asid: int, space) -> bool:
+        """True iff every cached entry of ``asid`` matches ``space``.
+
+        ``space`` is an :class:`repro.hardware.mmu.AddressSpace`.  An entry
+        is consistent if the address space still maps the page to the same
+        frame.  The E12 partitioning theorem states that mutating *another*
+        ASID's address space never invalidates this predicate.
+        """
+        for vpage, entry in self.entries_for_asid(asid).items():
+            try:
+                mapping = space.lookup(vpage * space.page_size)
+            except Exception:
+                return False
+            if mapping.frame.number != entry.frame_number:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # StateElement protocol
+    # ------------------------------------------------------------------
+
+    def flush(self) -> FlushResult:
+        self._entries.clear()
+        return FlushResult(cycles=self.flush_latency_cycles)
+
+    def fingerprint(self) -> Hashable:
+        return tuple(
+            sorted(
+                (asid, vpage, entry.frame_number, entry.writable)
+                for (asid, vpage), entry in self._entries.items()
+            )
+        )
+
+    def reset_fingerprint(self) -> Hashable:
+        return ()

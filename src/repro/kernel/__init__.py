@@ -1,0 +1,54 @@
+"""The seL4-like microkernel model with time protection.
+
+Implements the mechanisms of Sect. 4.2 of the paper (following Ge et al.
+[2019]): cache colouring with a colour-aware allocator, the kernel-clone
+mechanism, flush-on-domain-switch with latency padding, interrupt
+partitioning, and padded synchronous IPC delivery (Cock et al. [2014]).
+"""
+
+from .clone import KernelCloneManager
+from .colour_alloc import ColourAwareAllocator, ColourExhausted
+from .ipc import Endpoint, EndpointTable, Message
+from .irq_policy import IrqPartitionPolicy
+from .kernel import (
+    CODE_BASE,
+    DATA_BASE,
+    IrqDeliveryRecord,
+    Kernel,
+    KTEXT_BASE,
+    ObservationRecord,
+)
+from .objects import Domain, KernelImage, Tcb, ThreadState
+from .scheduler import CoreScheduleState, DomainScheduler
+from .switch import SwitchPath, SwitchRecord, SWITCH_CODE_LINES
+from .syscalls import SyscallHandler, SyscallOutcome, UnknownSyscall
+from .timeprotect import TimeProtectionConfig
+
+__all__ = [
+    "CODE_BASE",
+    "ColourAwareAllocator",
+    "ColourExhausted",
+    "CoreScheduleState",
+    "DATA_BASE",
+    "Domain",
+    "DomainScheduler",
+    "Endpoint",
+    "EndpointTable",
+    "IrqDeliveryRecord",
+    "IrqPartitionPolicy",
+    "Kernel",
+    "KernelCloneManager",
+    "KernelImage",
+    "KTEXT_BASE",
+    "Message",
+    "ObservationRecord",
+    "SwitchPath",
+    "SwitchRecord",
+    "SWITCH_CODE_LINES",
+    "SyscallHandler",
+    "SyscallOutcome",
+    "Tcb",
+    "ThreadState",
+    "TimeProtectionConfig",
+    "UnknownSyscall",
+]

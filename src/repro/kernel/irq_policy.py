@@ -1,0 +1,66 @@
+"""Interrupt partitioning policy.
+
+Sect. 4.2: "We prevent this [interrupt channel] by partitioning
+interrupts (other than the preemption timer) between domains, and keep
+all interrupts masked that are not associated with the presently-
+executing domain."
+
+The policy object owns the line -> domain assignment and reprograms each
+core's interrupt controller mask on every domain switch.  With the policy
+disabled, all lines stay unmasked for whoever happens to be running --
+which lets a Trojan steer its I/O completion interrupt into the victim's
+slice (experiment E6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..hardware.interrupts import InterruptController, PREEMPTION_TIMER_IRQ
+from .objects import Domain
+
+
+class IrqPartitionPolicy:
+    """Assigns IRQ lines to domains and enforces masking."""
+
+    def __init__(self, enabled: bool, n_lines: int):
+        self.enabled = enabled
+        self.n_lines = n_lines
+        self._owner: Dict[int, str] = {}
+
+    def assign(self, line: int, domain: Domain) -> None:
+        """Give ``line`` to ``domain`` (exclusive)."""
+        if line == PREEMPTION_TIMER_IRQ:
+            raise ValueError("the preemption timer line cannot be assigned")
+        if not 0 <= line < self.n_lines:
+            raise ValueError(f"IRQ line {line} out of range")
+        current = self._owner.get(line)
+        if current is not None and current != domain.name:
+            raise ValueError(f"IRQ line {line} already owned by {current!r}")
+        self._owner[line] = domain.name
+        domain.irq_lines.add(line)
+
+    def owner_of(self, line: int) -> Optional[str]:
+        return self._owner.get(line)
+
+    def may_submit(self, domain: Domain, line: int) -> bool:
+        """May ``domain`` program a device completion on ``line``?
+
+        With partitioning on, only the owner may; with it off, anything
+        goes (the insecure baseline).
+        """
+        if not self.enabled:
+            return True
+        return self._owner.get(line) == domain.name
+
+    def apply_masks(self, irq: InterruptController, running: Domain) -> None:
+        """Program ``irq`` masks for the domain about to run.
+
+        Partitioning on: unmask only the running domain's lines (plus the
+        preemption timer).  Off: unmask everything.
+        """
+        if self.enabled:
+            allowed: Set[int] = set(running.irq_lines) | {PREEMPTION_TIMER_IRQ}
+            irq.set_mask_all_except(allowed)
+        else:
+            irq.set_mask_all_except(set(range(self.n_lines)))

@@ -1,0 +1,533 @@
+"""The microkernel model: boot, domain/thread management, the run loop.
+
+This ties the mechanisms together into an seL4-like kernel with time
+protection (Ge et al. [2019], as summarised in Sect. 4.2 of the paper):
+
+* boot reserves the kernel's shared colour, builds the master kernel
+  image and the global kernel data region;
+* domains get disjoint colours, a cloned kernel image, a time slice, a
+  padding time and (optionally) owned IRQ lines;
+* threads are user programs (generators over the abstract ISA) in
+  coloured address spaces, with the domain's kernel text also mapped
+  read-only (the "shared text" surface that Flush+Reload attacks);
+* the run loop interleaves cores in global-time order, executing user
+  instructions, syscalls, interrupt deliveries and padded domain switches,
+  and records everything the proof layer needs: per-domain observation
+  traces, switch records, interrupt delivery records and state touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hardware.cpu import Core, TrapKind
+from ..hardware.isa import Observation, ProgramContext
+from ..hardware.machine import Machine
+from ..hardware.mmu import AddressSpaceManager
+from .colour_alloc import ColourAwareAllocator
+from .clone import KernelCloneManager
+from .ipc import Endpoint, EndpointTable
+from .irq_policy import IrqPartitionPolicy
+from .objects import Domain, Tcb, ThreadState
+from .scheduler import DomainScheduler
+from .switch import SwitchPath, SwitchRecord, estimate_pad_cycles
+from .syscalls import SyscallHandler, SyscallOutcome
+from .timeprotect import TimeProtectionConfig
+
+CODE_BASE = 0x0001_0000
+DATA_BASE = 0x0100_0000
+KTEXT_BASE = 0x0F00_0000
+
+_TIMER_TICK_CYCLES = 30
+_IRQ_HANDLER_LINES = 10
+_IRQ_HANDLER_LINE_OFFSET = 160
+_IRQ_HANDLER_BASE_CYCLES = 30
+
+
+@dataclass
+class IrqDeliveryRecord:
+    """Evidence of one delivered device interrupt."""
+
+    core_id: int
+    line: int
+    fire_time: int
+    delivered_at: int
+    running_domain: str
+    owner_domain: Optional[str]
+    handler_cycles: int
+
+
+@dataclass
+class ObservationRecord:
+    """One program-visible observation (the Lo trace unit)."""
+
+    thread: str
+    value: Optional[int]
+    latency: int
+
+
+class Kernel:
+    """The kernel model, bootable on any :class:`Machine`."""
+
+    # Distinct kernel-text lines used by handlers (switch code, syscall
+    # table, IRQ handlers); the image must be at least this big so
+    # different handlers live on different cache lines.
+    KERNEL_TEXT_LINES = 192
+
+    def __init__(
+        self,
+        machine: Machine,
+        tp: Optional[TimeProtectionConfig] = None,
+        kernel_image_pages: Optional[int] = None,
+        kernel_data_pages: int = 2,
+        record_observations: bool = True,
+    ):
+        self.machine = machine
+        self.tp = tp if tp is not None else TimeProtectionConfig.full()
+        self.record_observations = record_observations
+        line_size = machine.config.llc_geometry.line_size
+        if kernel_image_pages is None:
+            lines_per_page = max(1, machine.page_size // line_size)
+            kernel_image_pages = -(-self.KERNEL_TEXT_LINES // lines_per_page)
+        self.allocator = ColourAwareAllocator(
+            machine.memory, self.tp.cache_colouring
+        )
+        self.clone_manager = KernelCloneManager(
+            self.allocator,
+            image_pages=kernel_image_pages,
+            line_size=line_size,
+            clone_enabled=self.tp.kernel_clone,
+        )
+        data_frames = self.allocator.alloc_kernel_frames(kernel_data_pages)
+        page_size = machine.page_size
+        self.kernel_data_paddrs: List[int] = [
+            frame.base_paddr(page_size) + offset
+            for frame in data_frames
+            for offset in range(0, page_size, line_size)
+        ]
+        self.kernel_data_frames = data_frames
+        self.endpoints = EndpointTable(
+            padded_ipc=self.tp.padded_ipc,
+            default_min_cycles=self.tp.default_ipc_min_cycles,
+        )
+        self.irq_policy = IrqPartitionPolicy(
+            enabled=self.tp.partition_interrupts,
+            n_lines=machine.config.irq_lines,
+        )
+        self.scheduler = DomainScheduler()
+        self.switch_path = SwitchPath(machine, self.tp, self.kernel_data_paddrs)
+        self.syscalls = SyscallHandler(
+            endpoints=self.endpoints,
+            irq_policy=self.irq_policy,
+            scheduler=self.scheduler,
+            kernel_data_paddrs=self.kernel_data_paddrs,
+            instrumentation=machine.instrumentation,
+        )
+        self.spaces = AddressSpaceManager(machine.memory)
+        self.pad_wcet_estimate = estimate_pad_cycles(
+            machine, kernel_data_lines=len(self.kernel_data_paddrs)
+        )
+        # CAT-style way allocation: reserve a slice of the associativity
+        # for the kernel's shared accesses, hand the rest to domains.
+        self._way_quotas: Dict[str, int] = {}
+        if self.tp.way_partitioning:
+            llc_ways = machine.config.llc_geometry.ways
+            self._way_quotas["@kernel"] = max(1, llc_ways // 8)
+            machine.llc.set_way_quotas(self._way_quotas)
+        self.domains: Dict[str, Domain] = {}
+        self.observations: Dict[str, List[ObservationRecord]] = {}
+        self.irq_deliveries: List[IrqDeliveryRecord] = []
+        self._current_tcb: Dict[int, Optional[Tcb]] = {}
+        self._next_domain_id = 1
+        self._thread_counter = 0
+        self.total_steps = 0
+        # Per-step latency dependency footprints (the paper's "unspecified
+        # deterministic function" argument lists), captured when
+        # ``capture_footprints`` is enabled.  Entries are
+        # (case, context, ((element, index, kind), ...)) with case one of
+        # "1" (user step), "2a" (trap), "2b" (domain switch).
+        self.capture_footprints = False
+        self.step_footprints: List[Tuple[str, str, Tuple]] = []
+
+    # ------------------------------------------------------------------
+    # Configuration surface
+    # ------------------------------------------------------------------
+
+    def create_domain(
+        self,
+        name: str,
+        n_colours: Optional[int] = None,
+        slice_cycles: int = 3000,
+        pad_cycles: Optional[int] = None,
+        irq_lines: Tuple[int, ...] = (),
+        llc_ways: Optional[int] = None,
+    ) -> Domain:
+        """Create a security domain with its colour share and kernel image.
+
+        Under way partitioning, ``llc_ways`` (default: a quarter of what
+        remains after the kernel's reservation) becomes the domain's
+        CAT-style way quota.
+        """
+        if name in self.domains:
+            raise ValueError(f"domain {name!r} already exists")
+        colours = self.allocator.assign_domain_colours(name, n_colours)
+        if self.tp.way_partitioning:
+            total_ways = self.machine.config.llc_geometry.ways
+            remaining = total_ways - sum(self._way_quotas.values())
+            quota = llc_ways if llc_ways is not None else max(1, remaining // 4)
+            if quota > remaining:
+                raise ValueError(
+                    f"domain {name!r} wants {quota} LLC ways, only "
+                    f"{remaining} remain"
+                )
+            self._way_quotas[name] = quota
+            self.machine.llc.set_way_quotas(self._way_quotas)
+        domain = Domain(
+            name=name,
+            domain_id=self._next_domain_id,
+            colours=colours,
+            slice_cycles=slice_cycles,
+            pad_cycles=self._resolve_pad_cycles(pad_cycles),
+        )
+        self._next_domain_id += 1
+        domain.kernel_image = self.clone_manager.image_for_domain(domain)
+        for line in irq_lines:
+            self.irq_policy.assign(line, domain)
+        self.domains[name] = domain
+        self.observations[name] = []
+        return domain
+
+    def _resolve_pad_cycles(self, pad_cycles: Optional[int]) -> int:
+        """Explicit value, else the config's, else the WCET estimate."""
+        if pad_cycles is not None:
+            return pad_cycles
+        if self.tp.default_pad_cycles is not None:
+            return self.tp.default_pad_cycles
+        return self.pad_wcet_estimate
+
+    def create_thread(
+        self,
+        domain: Domain,
+        program_factory,
+        core_id: int = 0,
+        data_pages: int = 4,
+        code_pages: int = 1,
+        params: Optional[dict] = None,
+        name: Optional[str] = None,
+    ) -> Tcb:
+        """Create a thread running ``program_factory(ctx)`` in ``domain``.
+
+        The thread gets a coloured address space with a code region, a
+        private data buffer, and the domain's kernel text mapped
+        read-only at ``KTEXT_BASE``.
+        """
+        page_size = self.machine.page_size
+        colours = domain.colours if self.tp.cache_colouring else None
+        space = self.spaces.create(colours=colours)
+        for page_index, frame in enumerate(
+            self.allocator.alloc_for_domain(domain.name, code_pages)
+        ):
+            space.map(CODE_BASE + page_index * page_size, frame, writable=False)
+        data_frames = self.allocator.alloc_for_domain(domain.name, data_pages)
+        for page_index, frame in enumerate(data_frames):
+            space.map(DATA_BASE + page_index * page_size, frame, writable=True)
+        image = domain.kernel_image
+        for page_index, frame in enumerate(image.frames):
+            space.map(KTEXT_BASE + page_index * page_size, frame, writable=False)
+        context = ProgramContext(
+            data_base=DATA_BASE,
+            data_size=data_pages * page_size,
+            code_base=CODE_BASE,
+            page_size=page_size,
+            line_size=self.machine.config.llc_geometry.line_size,
+            shared_text_base=KTEXT_BASE,
+            shared_text_size=image.size_bytes,
+            page_colours=tuple(frame.colour for frame in data_frames),
+            params=dict(params or {}),
+        )
+        self._thread_counter += 1
+        tcb = Tcb(
+            name=name or f"{domain.name}.t{self._thread_counter}",
+            domain=domain,
+            space=space,
+            program=program_factory(context),
+            pc=CODE_BASE,
+            core_id=core_id,
+            code_base=CODE_BASE,
+            code_size=code_pages * page_size,
+        )
+        domain.threads.append(tcb)
+        return tcb
+
+    def create_endpoint(
+        self,
+        name: str,
+        min_exec_cycles: Optional[int] = None,
+        receiver_domain: Optional[Domain] = None,
+    ) -> Endpoint:
+        return self.endpoints.create(
+            name, min_exec_cycles=min_exec_cycles, receiver_domain=receiver_domain
+        )
+
+    def set_schedule(
+        self, core_id: int, entries: List[Tuple[Domain, Optional[int]]]
+    ) -> None:
+        """Install the static domain schedule for one core."""
+        self.scheduler.set_schedule(core_id, entries)
+        self._current_tcb[core_id] = None
+        first = self.scheduler.current_domain(core_id)
+        self.irq_policy.apply_masks(self.machine.cores[core_id].irq, first)
+
+    # ------------------------------------------------------------------
+    # Derived accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def switch_records(self) -> List[SwitchRecord]:
+        return self.switch_path.records
+
+    def observation_trace(self, domain_name: str) -> List[Tuple[str, Optional[int], int]]:
+        """The full observation trace of a domain, as comparable tuples."""
+        return [
+            (record.thread, record.value, record.latency)
+            for record in self.observations[domain_name]
+        ]
+
+    def all_threads(self) -> List[Tcb]:
+        return [tcb for domain in self.domains.values() for tcb in domain.threads]
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int, max_steps: int = 50_000_000) -> None:
+        """Run all scheduled cores in global time order until ``max_cycles``."""
+        cores = [
+            self.machine.cores[core_id]
+            for core_id in self.scheduler.scheduled_cores()
+        ]
+        if not cores:
+            raise RuntimeError("no core has a schedule; call set_schedule first")
+        steps = 0
+        while steps < max_steps:
+            candidates = [c for c in cores if c.clock.now < max_cycles]
+            if not candidates:
+                break
+            core = min(candidates, key=lambda c: c.clock.now)
+            if self._all_threads_finished():
+                break
+            self._step_core(core, max_cycles)
+            steps += 1
+        self.total_steps += steps
+
+    def _all_threads_finished(self) -> bool:
+        threads = self.all_threads()
+        return bool(threads) and all(
+            tcb.state in (ThreadState.DONE, ThreadState.FAULTED) for tcb in threads
+        )
+
+    def _step_core(self, core: Core, max_cycles: int) -> None:
+        core_id = core.core_id
+        state = self.scheduler.state(core_id)
+        now = core.clock.now
+        switch_at = state.effective_switch_time()
+        if now >= switch_at:
+            self._do_switch(core, switch_at)
+            return
+        domain = state.current
+        pending = core.irq.deliverable(now)
+        if pending is not None:
+            self._handle_irq(core, domain, pending)
+            return
+        self._unblock_receivers()
+        tcb = self._pick_thread(core, domain, now)
+        if tcb is None:
+            self._idle(core, domain, now, switch_at)
+            return
+        self._execute_step(core, domain, tcb)
+
+    # -- thread selection ------------------------------------------------
+
+    def _pick_thread(self, core: Core, domain: Domain, now: int) -> Optional[Tcb]:
+        current = self._current_tcb.get(core.core_id)
+        if (
+            current is not None
+            and current.domain is domain
+            and current.runnable(now)
+        ):
+            return current
+        tcb = domain.next_runnable(core.core_id, now)
+        self._current_tcb[core.core_id] = tcb
+        return tcb
+
+    def _idle(self, core: Core, domain: Domain, now: int, switch_at: int) -> None:
+        """Nothing runnable: advance to the next relevant event.
+
+        The slice is *not* donated -- idling to the slice end is what
+        keeps the schedule's switch points history-independent.
+        """
+        targets = [switch_at]
+        wake = domain.earliest_wake(core.core_id, now)
+        if wake is not None:
+            targets.append(wake)
+        irq_time = core.irq.next_unmasked_fire_time()
+        if irq_time is not None and irq_time > now:
+            targets.append(irq_time)
+        for tcb in domain.threads_on_core(core.core_id):
+            if tcb.state is ThreadState.BLOCKED and tcb.blocked_on_endpoint:
+                visible = self.endpoints.get(
+                    tcb.blocked_on_endpoint
+                ).next_visibility_time()
+                if visible is not None and visible > now:
+                    targets.append(visible)
+        target = min(t for t in targets if t > now) if any(
+            t > now for t in targets
+        ) else switch_at
+        core.clock.advance_to(min(target, switch_at))
+        if core.clock.now <= now:
+            # Ensure forward progress even on degenerate schedules.
+            core.clock.advance(1)
+
+    # -- program execution -----------------------------------------------
+
+    def _execute_step(self, core: Core, domain: Domain, tcb: Tcb) -> None:
+        instrumentation = self.machine.instrumentation
+        instrumentation.set_context(domain.name, core.core_id, core.clock.now)
+        if self.capture_footprints:
+            instrumentation.track_footprint = True
+            instrumentation.reset_footprint()
+        case = self._execute_step_inner(core, domain, tcb)
+        if self.capture_footprints and case is not None:
+            self.step_footprints.append(
+                (case, domain.name, tuple(instrumentation.footprint))
+            )
+
+    def _execute_step_inner(
+        self, core: Core, domain: Domain, tcb: Tcb
+    ) -> Optional[str]:
+        delivered = tcb.pending_obs if tcb.pending_obs is not None else Observation()
+        tcb.pending_obs = None
+        try:
+            if not tcb.started:
+                instruction = next(tcb.program)
+                tcb.started = True
+            else:
+                instruction = tcb.program.send(delivered)
+        except StopIteration:
+            tcb.state = ThreadState.DONE
+            self._current_tcb[core.core_id] = None
+            core.clock.advance(1)
+            return None
+        tcb.normalise_pc()
+        result = core.execute_user(tcb.space, tcb.pc, instruction)
+        tcb.pc = result.new_pc
+        tcb.steps_executed += 1
+        if result.trap is None:
+            tcb.pending_obs = Observation(value=result.value, latency=result.latency)
+            self._record(domain, tcb, result.value, result.latency)
+            return "1"
+        if result.trap.kind is TrapKind.HALT:
+            tcb.state = ThreadState.DONE
+            self._current_tcb[core.core_id] = None
+            return None
+        if result.trap.kind is TrapKind.FAULT:
+            tcb.state = ThreadState.FAULTED
+            self._current_tcb[core.core_id] = None
+            return "2a"
+        # Syscall.
+        before = core.clock.now
+        outcome = self.syscalls.handle(core, domain, tcb, result.trap.syscall)
+        kernel_latency = (core.clock.now - before) + result.latency
+        if outcome.blocked:
+            self._current_tcb[core.core_id] = None
+            return "2a"
+        tcb.pending_obs = Observation(value=outcome.retval, latency=kernel_latency)
+        self._record(domain, tcb, outcome.retval, kernel_latency)
+        if outcome.yielded:
+            self._current_tcb[core.core_id] = None
+        return "2a"
+
+    def _record(
+        self, domain: Domain, tcb: Tcb, value: Optional[int], latency: int
+    ) -> None:
+        if self.record_observations:
+            self.observations[domain.name].append(
+                ObservationRecord(thread=tcb.name, value=value, latency=latency)
+            )
+
+    # -- IPC wakeups -------------------------------------------------------
+
+    def _unblock_receivers(self) -> None:
+        """Deliver visible messages to blocked receivers (on their cores)."""
+        for domain in self.domains.values():
+            for tcb in domain.threads:
+                if (
+                    tcb.state is ThreadState.BLOCKED
+                    and tcb.blocked_on_endpoint is not None
+                ):
+                    receiver_now = self.machine.cores[tcb.core_id].clock.now
+                    value = self.endpoints.try_receive(
+                        tcb.blocked_on_endpoint, receiver_now
+                    )
+                    if value is not None:
+                        tcb.state = ThreadState.READY
+                        tcb.blocked_on_endpoint = None
+                        tcb.pending_obs = Observation(value=value, latency=0)
+                        self._record(domain, tcb, value, 0)
+
+    # -- interrupts ----------------------------------------------------------
+
+    def _handle_irq(self, core: Core, domain: Domain, pending) -> None:
+        """Deliver a device interrupt: kernel handler cost hits whoever runs."""
+        instrumentation = self.machine.instrumentation
+        instrumentation.set_context(
+            f"{domain.name}/kernel", core.core_id, core.clock.now
+        )
+        cycles = _IRQ_HANDLER_BASE_CYCLES
+        image = domain.kernel_image
+        if image is not None:
+            for line in range(_IRQ_HANDLER_LINES):
+                paddr = image.line_paddr(_IRQ_HANDLER_LINE_OFFSET + line)
+                cycles += core.cached_access(paddr, write=False, fetch=True)
+        for word in range(2):
+            cycles += core.cached_access(self.kernel_data_paddrs[word], write=False)
+        core.clock.advance(cycles)
+        self.irq_deliveries.append(
+            IrqDeliveryRecord(
+                core_id=core.core_id,
+                line=pending.line,
+                fire_time=pending.fire_time,
+                delivered_at=core.clock.now,
+                running_domain=domain.name,
+                owner_domain=self.irq_policy.owner_of(pending.line),
+                handler_cycles=cycles,
+            )
+        )
+
+    # -- domain switches -------------------------------------------------------
+
+    def _do_switch(self, core: Core, scheduled_at: int) -> None:
+        core_id = core.core_id
+        state = self.scheduler.state(core_id)
+        from_domain = state.current
+        to_domain = self.scheduler.peek_next(core_id)
+        if from_domain is to_domain:
+            # Intra-domain slice rollover: a cheap timer tick, no flush,
+            # no padding (time protection acts on *domain* switches only).
+            core.clock.advance(_TIMER_TICK_CYCLES)
+            self.scheduler.advance(core_id, release_time=core.clock.now)
+            return
+        context = f"@switch:{from_domain.name}>{to_domain.name}"
+        self.machine.instrumentation.set_context(context, core_id, core.clock.now)
+        if self.capture_footprints:
+            self.machine.instrumentation.track_footprint = True
+            self.machine.instrumentation.reset_footprint()
+        record = self.switch_path.execute(core, from_domain, to_domain, scheduled_at)
+        if self.capture_footprints:
+            self.step_footprints.append(
+                ("2b", context, tuple(self.machine.instrumentation.footprint))
+            )
+        self.scheduler.advance(core_id, release_time=record.released_at)
+        self.irq_policy.apply_masks(core.irq, to_domain)
+        self._current_tcb[core_id] = None

@@ -1,0 +1,43 @@
+"""Background load generators: cache churn, syscall churn, pure compute.
+
+Used to populate extra domains in multi-domain experiments and to stress
+determinism: a noisy-but-deterministic neighbour must not perturb a
+protected observer.
+"""
+
+from __future__ import annotations
+
+from ..hardware.isa import Access, Branch, Compute, ProgramContext, Syscall
+
+
+def cache_churner(ctx: ProgramContext):
+    """Walk the whole data buffer with writes, forever."""
+    lines_per_page = ctx.page_size // ctx.line_size
+    n_pages = ctx.data_size // ctx.page_size
+    stride = ctx.params.get("stride_lines", 1)
+    value = 0
+    while True:
+        for page in range(n_pages):
+            for line in range(0, lines_per_page, stride):
+                yield Access(
+                    ctx.data_base + page * ctx.page_size + line * ctx.line_size,
+                    write=True,
+                    value=value,
+                )
+                value += 1
+
+
+def syscall_churner(ctx: ProgramContext):
+    """Trap into the kernel continuously (exercises kernel-text caching)."""
+    while True:
+        yield Syscall("nop")
+        yield Compute(ctx.params.get("gap_cycles", 50))
+
+
+def branchy_compute(ctx: ProgramContext):
+    """Deterministic branch-heavy compute (trains the predictor)."""
+    pattern = ctx.params.get("pattern", (1, 0, 1, 1, 0))
+    while True:
+        for taken in pattern:
+            yield Branch(taken=bool(taken))
+            yield Compute(7)

@@ -1,0 +1,66 @@
+"""The Figure 1 pipeline: web server -> encryption -> network stack.
+
+The paper's motivating downgrader scenario as a three-stage workload: a
+Hi web server produces secret-bearing requests, a Hi encryption component
+"encrypts" them (with optionally secret-dependent latency) and
+declassifies the result to the Lo network stack via a synchronous call.
+Used by example applications and the E1 bench.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hardware.isa import Access, Compute, ProgramContext, ReadTime, Syscall
+
+
+def web_server(ctx: ProgramContext):
+    """Produce one request per activation on the server->crypto endpoint."""
+    endpoint = ctx.params["endpoint_id"]
+    secrets: List[int] = ctx.params["secrets"]
+    for secret in secrets:
+        for line in range(4):  # build the request in the buffer
+            yield Access(ctx.data_base + line * ctx.line_size, write=True, value=secret)
+        yield Syscall("send", (endpoint, secret))
+        yield Syscall("sleep", (ctx.params.get("request_gap", 20000),))
+    while True:
+        yield Compute(200)
+
+
+def encryption_engine(ctx: ProgramContext):
+    """Encrypt requests; running time depends on the secret unless fixed.
+
+    Params:
+        in_endpoint_id / out_endpoint_id: pipeline plumbing.
+        cycles_per_unit: secret-dependent work factor (the algorithmic
+            channel); 0 models a constant-time implementation.
+        base_cycles: fixed part of the "encryption".
+        messages: how many to process.
+    """
+    inbox = ctx.params["in_endpoint_id"]
+    outbox = ctx.params["out_endpoint_id"]
+    per_unit = ctx.params.get("cycles_per_unit", 300)
+    base = ctx.params.get("base_cycles", 2000)
+    messages = ctx.params.get("messages", 4)
+    for _message in range(messages):
+        received = yield Syscall("recv", (inbox,))
+        secret = received.value if received.value is not None else 0
+        yield Compute(base + per_unit * secret)
+        for line in range(4):  # write the ciphertext
+            yield Access(
+                ctx.data_base + line * ctx.line_size, write=True, value=secret ^ 0x5A
+            )
+        yield Syscall("call", (outbox, (secret ^ 0x5A) & 0xFF))
+    while True:
+        yield Compute(100)
+
+
+def network_stack(ctx: ProgramContext):
+    """Receive ciphertexts; record arrival timestamps (the observer)."""
+    inbox = ctx.params["in_endpoint_id"]
+    arrivals: List[int] = ctx.params["arrivals"]
+    messages = ctx.params.get("messages", 4)
+    for _message in range(messages):
+        yield Syscall("recv", (inbox,))
+        stamp = yield ReadTime()
+        arrivals.append(stamp.value)

@@ -1,0 +1,52 @@
+"""Square-and-multiply modular exponentiation: the algorithmic channel.
+
+Sect. 4.3's target: a crypto implementation whose *control flow* depends
+on the secret -- classic square-and-multiply runs an extra multiply for
+every 1-bit of the exponent, so its total execution time (and its branch
+pattern) encodes the secret's Hamming weight, and finer-grained probes
+recover individual bits.  Time protection cannot rewrite the algorithm,
+but padding the component's execution to an upper bound (padded IPC
+delivery with min-exec above the WCET) hides the duration.
+"""
+
+from __future__ import annotations
+
+from ..hardware.isa import Access, Branch, Compute, ProgramContext, Syscall
+
+SQUARE_CYCLES = 60
+MULTIPLY_CYCLES = 90
+
+
+def exponent_work_cycles(exponent: int, bits: int) -> int:
+    """Analytic execution time of one exponentiation (for tests/WCET)."""
+    ones = bin(exponent & ((1 << bits) - 1)).count("1")
+    return bits * SQUARE_CYCLES + ones * MULTIPLY_CYCLES
+
+
+def modexp_victim(ctx: ProgramContext):
+    """Exponentiate once per activation, then hand the result to Lo.
+
+    Params:
+        exponent: the secret exponent.
+        bits: exponent width.
+        endpoint_id: where to send the "ciphertext" (a synchronous call).
+        messages: how many exponentiations to perform.
+    """
+    exponent = ctx.params["exponent"]
+    bits = ctx.params.get("bits", 8)
+    endpoint = ctx.params["endpoint_id"]
+    messages = ctx.params.get("messages", 4)
+    for message in range(messages):
+        for bit_index in range(bits - 1, -1, -1):
+            yield Compute(SQUARE_CYCLES)
+            bit = (exponent >> bit_index) & 1
+            # The branch itself is secret-dependent: predictor state and
+            # the taken path both leak.
+            yield Branch(taken=bool(bit))
+            if bit:
+                yield Compute(MULTIPLY_CYCLES)
+            yield Access(ctx.data_base + (bit_index % 8) * ctx.line_size, write=True,
+                         value=bit_index)
+        yield Syscall("call", (endpoint, 0xE0 + message))
+    while True:
+        yield Compute(100)

@@ -1,0 +1,61 @@
+"""An AES-like table-lookup cipher victim.
+
+The canonical prime-and-probe *side-channel* victim (Osvik et al. [2006],
+Gullasch et al. [2011]): a cipher whose inner loop indexes a lookup table
+with secret-derived values.  The cache set touched by each lookup is a
+function of the key byte, so an attacker resolving per-set residency
+recovers key material -- no Trojan required, the leak is implicit in
+normal execution (Sect. 3.1: "e.g. via a secret-derived array index").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hardware.isa import Access, Compute, ProgramContext, Syscall
+
+
+def sbox_victim(ctx: ProgramContext):
+    """Encrypt blocks forever, indexing the table by key-mixed state.
+
+    Params:
+        key: list of small integers (the secret key bytes).
+        table_pages: pages of the lookup table inside the data buffer.
+        blocks_per_slice: encryptions between yields to the kernel.
+        fixed_plaintext: if set, every block encrypts this plaintext --
+            the chosen-plaintext setting of the classic attacks, where
+            the first-round lookup line is a pure function of the key.
+    """
+    key: List[int] = ctx.params["key"]
+    table_pages = ctx.params.get("table_pages", 2)
+    blocks = ctx.params.get("blocks_per_slice", 4)
+    fixed_plaintext = ctx.params.get("fixed_plaintext")
+    lines_per_page = ctx.page_size // ctx.line_size
+    plaintext = fixed_plaintext if fixed_plaintext is not None else 0
+    while True:
+        for _block in range(blocks):
+            state = plaintext
+            for round_index, key_byte in enumerate(key):
+                # The table row -- and therefore the cache line touched --
+                # depends on the secret key byte.  As with AES T-tables,
+                # each round reads the same row of *every* table, so the
+                # whole row's cache set lights up.
+                row = (state ^ key_byte) % lines_per_page
+                for table in range(table_pages):
+                    yield Access(
+                        ctx.data_base + table * ctx.page_size + row * ctx.line_size
+                    )
+                state = (state * 5 + key_byte + round_index) & 0xFF
+                yield Compute(3)
+            if fixed_plaintext is None:
+                plaintext = (plaintext + 1) & 0xFF
+        yield Syscall("yield")
+
+
+def key_dependent_line(key_byte: int, plaintext: int, table_rows: int) -> int:
+    """The table row the first round of :func:`sbox_victim` touches.
+
+    Exposed so tests and benches can compute the expected leak target
+    (the row is also the L1 set index when a table page spans the L1).
+    """
+    return (plaintext ^ key_byte) % table_rows

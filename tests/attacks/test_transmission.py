@@ -1,0 +1,128 @@
+"""Tests for the covert-transmission framework."""
+
+import pytest
+
+from repro.attacks.transmission import CovertTransmitter, TransmissionResult
+
+
+def perfect_channel(symbol):
+    """The spy observes the transmitted symbol exactly, five times."""
+    return [symbol] * 5
+
+
+def dead_channel(_symbol):
+    """The spy observes a constant, whatever was sent."""
+    return [4] * 5
+
+
+def noisy_channel(symbol):
+    """Majority-correct observations with a minority of junk."""
+    return [symbol, 0, symbol, 7, symbol]
+
+
+SYMBOL_MAP = {0: 1, 1: 3, 2: 5, 3: 7}
+
+
+class TestTransmit:
+    def test_perfect_channel_recovers_message(self):
+        transmitter = CovertTransmitter(perfect_channel, SYMBOL_MAP)
+        result = transmitter.transmit(0xC3, width_bits=8)
+        assert result.recovered
+        assert result.bit_error_rate == 0.0
+        assert result.symbols_sent == 4
+
+    def test_dead_channel_recovers_nothing_but_constant(self):
+        transmitter = CovertTransmitter(dead_channel, SYMBOL_MAP)
+        results = {
+            message: transmitter.transmit(message, width_bits=8).received_bits
+            for message in (0x00, 0x5A, 0xFF)
+        }
+        # The decoder output is constant -- zero information.
+        assert len({tuple(bits) for bits in results.values()}) == 1
+
+    def test_majority_vote_corrects_noise(self):
+        transmitter = CovertTransmitter(noisy_channel, SYMBOL_MAP)
+        result = transmitter.transmit(0xA7, width_bits=8)
+        assert result.recovered
+
+    def test_symbol_errors_counted(self):
+        transmitter = CovertTransmitter(dead_channel, SYMBOL_MAP)
+        result = transmitter.transmit(0x00, width_bits=8)
+        # dead channel answers "4" -> snaps to logical 1 or 2, so every
+        # 00 symbol decodes wrong.
+        assert result.symbol_errors == 4
+        assert 0.0 < result.bit_error_rate <= 1.0
+
+    def test_width_must_be_multiple_of_symbol_bits(self):
+        transmitter = CovertTransmitter(perfect_channel, SYMBOL_MAP)
+        with pytest.raises(ValueError):
+            transmitter.transmit(0x1, width_bits=7)
+
+    def test_symbol_map_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            CovertTransmitter(perfect_channel, {0: 1, 1: 2, 2: 3})
+
+    def test_empty_symbol_map_rejected(self):
+        with pytest.raises(ValueError):
+            CovertTransmitter(perfect_channel, {})
+
+
+class TestBandwidthReporting:
+    def test_effective_rate_zero_at_half_error(self):
+        result = TransmissionResult(
+            sent_bits=[0, 1] * 4,
+            received_bits=[1, 0] * 2 + [0, 1] * 2,
+            bit_error_rate=0.5,
+            symbol_errors=2,
+            symbols_sent=4,
+            symbol_period_cycles=1000,
+        )
+        assert result.effective_bits_per_second() == pytest.approx(0.0, abs=1e-6)
+
+    def test_raw_rate_scales_with_clock(self):
+        result = TransmissionResult(
+            sent_bits=[1] * 8,
+            received_bits=[1] * 8,
+            bit_error_rate=0.0,
+            symbol_errors=0,
+            symbols_sent=4,
+            symbol_period_cycles=2000,
+            clock_hz=2e9,
+        )
+        # 2 bits per symbol, 1e6 symbols/s at 2 GHz / 2000 cycles.
+        assert result.bandwidth().bits_per_second == pytest.approx(2e6)
+
+    def test_summary_mentions_rate_when_period_known(self):
+        result = TransmissionResult(
+            sent_bits=[1] * 4,
+            received_bits=[1] * 4,
+            bit_error_rate=0.0,
+            symbol_errors=0,
+            symbols_sent=2,
+            symbol_period_cycles=1000,
+        )
+        assert "bit/s" in result.summary()
+        assert "RECOVERED" in result.summary()
+
+
+class TestEndToEndOverRealChannel:
+    def test_byte_over_l1_primeprobe(self):
+        """A real end-to-end transmission over the L1 channel."""
+        from repro.attacks.primeprobe import l1_experiment
+        from repro.hardware import presets
+        from repro.kernel import TimeProtectionConfig
+
+        def run_symbol(symbol):
+            result = l1_experiment(
+                TimeProtectionConfig.none(),
+                presets.tiny_machine,
+                symbols=[symbol],
+                rounds_per_run=6,
+            )
+            return [obs for _s, obs in result.samples]
+
+        transmitter = CovertTransmitter(
+            run_symbol, symbol_map={0: 4, 1: 5, 2: 6, 3: 7}
+        )
+        result = transmitter.transmit(0x9, width_bits=4)
+        assert result.recovered, result.summary()

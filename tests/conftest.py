@@ -1,0 +1,77 @@
+"""Shared fixtures and system builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import Access, Compute, Halt, ReadTime, Syscall, presets
+from repro.kernel import Kernel, TimeProtectionConfig
+
+
+@pytest.fixture
+def tiny_machine():
+    return presets.tiny_machine()
+
+
+@pytest.fixture
+def tiny_machine_2core():
+    return presets.tiny_machine(n_cores=2)
+
+
+def secret_striding_trojan(ctx):
+    """A Hi program whose memory pattern depends on ctx.params['secret']."""
+    secret = ctx.params.get("secret", 0)
+    for i in range(60):
+        yield Access(
+            ctx.data_base + ((i * (secret + 1) * ctx.line_size) % ctx.data_size),
+            write=True,
+            value=i,
+        )
+        if i % 8 == 0:
+            yield Syscall("nop")
+    while True:
+        yield Compute(10)
+
+
+def timing_observer(ctx):
+    """A Lo program that observes timestamps and its own access latencies."""
+    iterations = ctx.params.get("iterations", 120)
+    for i in range(iterations):
+        yield ReadTime()
+        yield Access(ctx.data_base + (i * ctx.line_size) % ctx.data_size)
+        if i % 16 == 0:
+            yield Syscall("nop")
+    yield Halt()
+
+
+def build_two_domain_system(
+    secret,
+    tp: TimeProtectionConfig,
+    max_cycles: int = 400_000,
+    machine_factory=presets.tiny_machine,
+    capture_footprints: bool = False,
+    observer_iterations: int = 120,
+):
+    """The standard Hi/Lo system used across proof and NI tests."""
+    machine = machine_factory()
+    kernel = Kernel(machine, tp)
+    kernel.capture_footprints = capture_footprints
+    hi = kernel.create_domain("Hi", n_colours=2, slice_cycles=3000)
+    lo = kernel.create_domain("Lo", n_colours=2, slice_cycles=3000)
+    kernel.create_thread(hi, secret_striding_trojan, params={"secret": secret})
+    kernel.create_thread(
+        lo, timing_observer, params={"iterations": observer_iterations}
+    )
+    kernel.set_schedule(0, [(hi, None), (lo, None)])
+    kernel.run(max_cycles=max_cycles)
+    return kernel
+
+
+@pytest.fixture
+def tp_full():
+    return TimeProtectionConfig.full()
+
+
+@pytest.fixture
+def tp_none():
+    return TimeProtectionConfig.none()

@@ -1,0 +1,59 @@
+"""Unit tests for the abstract hardware model extraction."""
+
+from repro.core.absmodel import AbstractHardwareModel
+from repro.hardware import StateCategory, presets
+
+
+class TestExtraction:
+    def test_conforming_machine_has_no_unmanaged_state(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_machine())
+        assert model.conforms_to_aisa()
+        assert model.unmanaged() == []
+
+    def test_llc_is_partitionable(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_machine())
+        assert "llc" in [e.name for e in model.partitionable()]
+
+    def test_core_private_state_is_flushable(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_machine())
+        flushable = {e.name for e in model.flushable()}
+        for suffix in ("l1i", "l1d", "l2", "tlb", "branch", "prefetcher"):
+            assert f"core0.{suffix}" in flushable
+
+    def test_smt_degrades_private_state_to_unmanaged(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_smt_machine())
+        unmanaged = {e.name for e in model.unmanaged()}
+        assert "core0.l1d" in unmanaged
+        assert not model.conforms_to_aisa()
+
+    def test_unflushable_prefetcher_unmanaged(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_unflushable_machine())
+        assert {e.name for e in model.unmanaged()} == {"core0.prefetcher"}
+
+    def test_single_colour_llc_unmanaged(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_nocolour_machine())
+        assert "llc" in {e.name for e in model.unmanaged()}
+
+    def test_declared_category_preserved(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_smt_machine())
+        element = model.element("core0.l1d")
+        assert element.declared_category is StateCategory.FLUSHABLE
+        assert element.effective_category is StateCategory.UNMANAGED
+
+    def test_unknown_element_raises(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_machine())
+        try:
+            model.element("nonsense")
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_summary_lists_exclusions(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_machine())
+        summary = model.summary()
+        assert any("interconnect" in item for item in summary["exclusions"])
+
+    def test_partition_counts_reported(self):
+        model = AbstractHardwareModel.from_machine(presets.tiny_machine())
+        assert model.element("llc").n_partitions == 8

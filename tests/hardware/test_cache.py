@@ -1,0 +1,194 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.hardware.cache import Cache, LatencyParams, ReplacementPolicy
+from repro.hardware.geometry import CacheGeometry
+from repro.hardware.state import Scope, StateCategory
+
+
+def make_cache(ways=2, sets=8, policy=ReplacementPolicy.LRU, broken=False):
+    return Cache(
+        name="test.cache",
+        geometry=CacheGeometry(sets=sets, ways=ways, line_size=32),
+        category=StateCategory.FLUSHABLE,
+        scope=Scope.CORE_LOCAL,
+        latency=LatencyParams(hit_cycles=4),
+        page_size=256,
+        policy=policy,
+        flush_is_broken=broken,
+    )
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        cache = make_cache()
+        assert cache.access(0x100).hit is False
+
+    def test_second_access_hits(self):
+        cache = make_cache()
+        cache.access(0x100)
+        assert cache.access(0x100).hit is True
+
+    def test_same_line_different_offsets_hit(self):
+        cache = make_cache()
+        cache.access(0x100)
+        assert cache.access(0x11F).hit is True  # same 32-byte line
+        assert cache.access(0x120).hit is False  # next line
+
+    def test_fill_respects_associativity(self):
+        cache = make_cache(ways=2, sets=8)
+        set_stride = 8 * 32
+        cache.access(0 * set_stride)
+        cache.access(1 * set_stride)
+        assert cache.occupancy(0) == 2
+        result = cache.access(2 * set_stride)
+        assert result.hit is False
+        assert result.evicted_tag is not None
+        assert cache.occupancy(0) == 2  # never exceeds ways
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = make_cache(ways=2, sets=8)
+        stride = 8 * 32
+        cache.access(0 * stride)  # A
+        cache.access(1 * stride)  # B
+        cache.access(0 * stride)  # refresh A
+        cache.access(2 * stride)  # must evict B
+        assert cache.access(0 * stride).hit is True
+        assert cache.access(1 * stride).hit is False
+
+    def test_fifo_ignores_hits_for_replacement(self):
+        cache = make_cache(ways=2, sets=8, policy=ReplacementPolicy.FIFO)
+        stride = 8 * 32
+        cache.access(0 * stride)  # A (first in)
+        cache.access(1 * stride)  # B
+        cache.access(0 * stride)  # hit A: must not refresh under FIFO
+        cache.access(2 * stride)  # evicts A (first in)
+        assert cache.access(1 * stride).hit is True
+        assert cache.access(0 * stride).hit is False
+
+    def test_plru_never_evicts_most_recently_used(self):
+        # Tree-PLRU only approximates LRU, but it guarantees the victim
+        # is never the line touched immediately before the miss.
+        cache = make_cache(ways=4, sets=8, policy=ReplacementPolicy.PLRU)
+        stride = 8 * 32
+        for way in range(4):
+            cache.access(way * stride)
+        cache.access(1 * stride)  # most recently used
+        cache.access(4 * stride)  # miss: victim must not be tag 1
+        assert cache.access(1 * stride).hit is True
+
+    def test_plru_cycles_through_all_ways(self):
+        # Consecutive misses (no touches in between) must not evict the
+        # same way twice in a row.
+        cache = make_cache(ways=4, sets=8, policy=ReplacementPolicy.PLRU)
+        stride = 8 * 32
+        for tag in range(4):
+            cache.access(tag * stride)
+        cache.access(4 * stride)
+        victim_first = {t for t in range(4) if not cache.probe(t * stride)}
+        cache.access(5 * stride)
+        assert cache.probe(4 * stride)  # the just-filled line survives
+
+    def test_write_marks_dirty(self):
+        cache = make_cache()
+        cache.access(0x100, write=True)
+        assert cache.dirty_line_count() == 1
+        cache.access(0x200, write=False)
+        assert cache.dirty_line_count() == 1
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = make_cache(ways=1, sets=8)
+        stride = 8 * 32
+        cache.access(0 * stride, write=True)
+        result = cache.access(1 * stride)
+        assert result.dirty_writeback is True
+
+
+class TestProbeAndInvalidate:
+    def test_probe_does_not_allocate(self):
+        cache = make_cache()
+        assert cache.probe(0x100) is False
+        assert cache.occupancy(cache.geometry.set_index(0x100)) == 0
+
+    def test_probe_sees_resident_line(self):
+        cache = make_cache()
+        cache.access(0x100)
+        assert cache.probe(0x100) is True
+
+    def test_invalidate_line(self):
+        cache = make_cache()
+        cache.access(0x100)
+        assert cache.invalidate_line(0x100) is True
+        assert cache.probe(0x100) is False
+        assert cache.invalidate_line(0x100) is False
+
+
+class TestFlush:
+    def test_flush_empties_cache(self):
+        cache = make_cache()
+        for i in range(16):
+            cache.access(i * 32, write=(i % 2 == 0))
+        result = cache.flush()
+        assert cache.fingerprint() == cache.reset_fingerprint()
+        assert result.lines_written_back == 8
+
+    def test_flush_latency_depends_on_dirty_lines(self):
+        clean = make_cache()
+        for i in range(8):
+            clean.access(i * 32)
+        dirty = make_cache()
+        for i in range(8):
+            dirty.access(i * 32, write=True)
+        assert dirty.flush().cycles > clean.flush().cycles
+
+    def test_flush_latency_formula(self):
+        cache = make_cache()
+        for i in range(5):
+            cache.access(i * 32, write=True)
+        result = cache.flush()
+        expected = (
+            cache.latency.flush_base_cycles
+            + 5 * cache.latency.writeback_cycles_per_line
+        )
+        assert result.cycles == expected
+
+    def test_broken_flush_leaves_residue(self):
+        cache = make_cache(broken=True)
+        for i in range(16):
+            cache.access(i * 32)
+        cache.flush()
+        assert cache.fingerprint() != cache.reset_fingerprint()
+
+    def test_flush_resets_plru_bits(self):
+        cache = make_cache(ways=4, policy=ReplacementPolicy.PLRU)
+        for i in range(16):
+            cache.access(i * 32)
+        cache.flush()
+        assert cache.fingerprint() == cache.reset_fingerprint()
+
+
+class TestPartitioning:
+    def test_partition_of_index_is_page_colour(self):
+        cache = Cache(
+            name="llc",
+            geometry=CacheGeometry(sets=64, ways=8, line_size=32),
+            category=StateCategory.PARTITIONABLE,
+            scope=Scope.SHARED,
+            latency=LatencyParams(hit_cycles=40),
+            page_size=256,
+        )
+        assert cache.n_partitions == 8
+        assert cache.partition_of_index(0) == 0
+        assert cache.partition_of_index(8) == 1
+        assert cache.partition_of_index(63) == 7
+
+    def test_single_colour_cache_has_one_partition(self):
+        cache = make_cache()
+        assert cache.n_partitions == 1
+
+    def test_fingerprint_changes_with_content(self):
+        cache = make_cache()
+        empty = cache.fingerprint()
+        cache.access(0x100)
+        assert cache.fingerprint() != empty

@@ -1,0 +1,130 @@
+"""Unit tests for the clock, interconnect and interrupt controller."""
+
+import pytest
+
+from repro.hardware.clock import CycleClock
+from repro.hardware.interconnect import Interconnect, MbaConfig
+from repro.hardware.interrupts import InterruptController
+
+
+class TestCycleClock:
+    def test_advance(self):
+        clock = CycleClock()
+        assert clock.advance(10) == 10
+        assert clock.now == 10
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CycleClock().advance(-1)
+
+    def test_advance_to_pads_forward_only(self):
+        clock = CycleClock(start=100)
+        clock.advance_to(150)
+        assert clock.now == 150
+        clock.advance_to(120)  # no going back
+        assert clock.now == 150
+
+
+class TestInterconnect:
+    def test_uncontended_transfer_has_no_wait(self):
+        bus = Interconnect(transfer_cycles=24)
+        result = bus.request(core=0, now=1000)
+        assert result.wait_cycles == 0
+        assert result.transfer_cycles == 24
+
+    def test_back_to_back_requests_queue(self):
+        bus = Interconnect(transfer_cycles=24)
+        bus.request(core=0, now=1000)
+        result = bus.request(core=1, now=1010)
+        assert result.wait_cycles == (1000 + 24) - 1010
+
+    def test_cross_core_contention_is_visible(self):
+        # The essence of the stateless-interconnect channel: one core's
+        # traffic delays the other's.
+        bus = Interconnect(transfer_cycles=24)
+        bus.request(core=1, now=1000)
+        delayed = bus.request(core=0, now=1001)
+        quiet_bus = Interconnect(transfer_cycles=24)
+        undelayed = quiet_bus.request(core=0, now=1001)
+        assert delayed.total_cycles > undelayed.total_cycles
+
+    def test_transfer_accounting(self):
+        bus = Interconnect()
+        before = bus.total_transfers
+        bus.request(0, 0)
+        bus.request(1, 100)
+        assert bus.utilisation_since(before) == 2
+        assert bus.per_core_transfers == {0: 1, 1: 1}
+
+    def test_mba_throttles_over_budget_core(self):
+        mba = MbaConfig(window_cycles=1000, requests_per_window=2,
+                        throttle_delay_cycles=40)
+        bus = Interconnect(transfer_cycles=10, mba=mba)
+        waits = [bus.request(0, now=i * 20).wait_cycles for i in range(4)]
+        # Requests beyond the window budget pick up the throttle delay.
+        assert max(waits[2:]) >= 40
+
+    def test_mba_is_approximate_not_partitioning(self):
+        # A new window resets the count: modulation across windows stays
+        # visible (footnote 1: approximate enforcement is insufficient).
+        mba = MbaConfig(window_cycles=100, requests_per_window=1,
+                        throttle_delay_cycles=40)
+        bus = Interconnect(transfer_cycles=10, mba=mba)
+        bus.request(0, now=0)
+        late = bus.request(0, now=500)  # new window -> no throttle
+        assert late.wait_cycles == 0
+
+
+class TestInterruptController:
+    def test_schedule_and_deliver(self):
+        irq = InterruptController(n_lines=4)
+        irq.schedule(line=2, fire_time=100)
+        assert irq.deliverable(now=50) is None
+        pending = irq.deliverable(now=100)
+        assert pending is not None and pending.line == 2
+
+    def test_masked_lines_stay_pending(self):
+        irq = InterruptController(n_lines=4)
+        irq.schedule(line=2, fire_time=100)
+        irq.mask(2)
+        assert irq.deliverable(now=200) is None
+        irq.unmask(2)
+        pending = irq.deliverable(now=200)
+        assert pending is not None and pending.line == 2
+
+    def test_delivery_order_by_fire_time(self):
+        irq = InterruptController(n_lines=4)
+        irq.schedule(line=3, fire_time=300)
+        irq.schedule(line=1, fire_time=100)
+        first = irq.deliverable(now=400)
+        assert first.line == 1
+
+    def test_set_mask_all_except(self):
+        irq = InterruptController(n_lines=4)
+        irq.set_mask_all_except({0, 2})
+        assert not irq.is_masked(0)
+        assert irq.is_masked(1)
+        assert not irq.is_masked(2)
+        assert irq.is_masked(3)
+
+    def test_next_unmasked_fire_time_skips_masked(self):
+        irq = InterruptController(n_lines=4)
+        irq.schedule(line=1, fire_time=100)
+        irq.schedule(line=2, fire_time=200)
+        irq.mask(1)
+        assert irq.next_unmasked_fire_time() == 200
+
+    def test_line_range_validated(self):
+        irq = InterruptController(n_lines=4)
+        with pytest.raises(ValueError):
+            irq.schedule(line=9, fire_time=0)
+        with pytest.raises(ValueError):
+            irq.mask(-1)
+
+    def test_delivered_count(self):
+        irq = InterruptController(n_lines=4)
+        irq.schedule(line=1, fire_time=10)
+        irq.schedule(line=1, fire_time=20)
+        irq.deliverable(now=15)
+        irq.deliverable(now=25)
+        assert irq.delivered_count[1] == 2

@@ -1,0 +1,150 @@
+"""Unit tests for the core's execution and memory-access paths."""
+
+import pytest
+
+from repro.hardware import (
+    Access,
+    Branch,
+    Compute,
+    FlushLine,
+    Halt,
+    INSTRUCTION_BYTES,
+    ReadTime,
+    Syscall,
+    TrapKind,
+    presets,
+)
+from repro.hardware.mmu import AddressSpaceManager
+
+
+@pytest.fixture
+def core_and_space():
+    machine = presets.tiny_machine()
+    manager = AddressSpaceManager(machine.memory)
+    space = manager.create()
+    for page in range(4):
+        space.map(0x1000 + page * 256, machine.memory.alloc_frame())
+    return machine.cores[0], space
+
+
+class TestMemoryPath:
+    def test_miss_costlier_than_hit(self, core_and_space):
+        core, space = core_and_space
+        _lat, paddr = core.translate(space, 0x1000)
+        miss = core.cached_access(paddr)
+        hit = core.cached_access(paddr)
+        assert miss > hit
+
+    def test_translate_returns_physical_address(self, core_and_space):
+        core, space = core_and_space
+        _lat, paddr = core.translate(space, 0x1008)
+        assert paddr == space.translate(0x1008)
+
+    def test_tlb_hit_cheaper_than_walk(self, core_and_space):
+        core, space = core_and_space
+        walk_latency, _ = core.translate(space, 0x1000)
+        hit_latency, _ = core.translate(space, 0x1000)
+        assert hit_latency < walk_latency
+
+    def test_flush_line_everywhere(self, core_and_space):
+        core, space = core_and_space
+        _lat, paddr = core.translate(space, 0x1000)
+        core.cached_access(paddr)
+        core.flush_line_everywhere(paddr)
+        assert not core.l1d.probe(paddr)
+        assert not core.l2.probe(paddr)
+        assert not core.llc.probe(paddr)
+
+
+class TestExecuteUser:
+    def test_compute_advances_clock(self, core_and_space):
+        core, space = core_and_space
+        before = core.clock.now
+        result = core.execute_user(space, 0x1000, Compute(50))
+        assert core.clock.now == before + result.latency
+        assert result.latency >= 50
+
+    def test_load_returns_stored_value(self, core_and_space):
+        core, space = core_and_space
+        core.execute_user(space, 0x1000, Access(0x1108, write=True, value=99))
+        result = core.execute_user(space, 0x1004, Access(0x1108))
+        assert result.value == 99
+
+    def test_pc_advances_by_instruction_size(self, core_and_space):
+        core, space = core_and_space
+        result = core.execute_user(space, 0x1000, Compute(1))
+        assert result.new_pc == 0x1000 + INSTRUCTION_BYTES
+
+    def test_branch_taken_jumps(self, core_and_space):
+        core, space = core_and_space
+        result = core.execute_user(space, 0x1000, Branch(taken=True, target=0x1040))
+        assert result.new_pc == 0x1040
+
+    def test_branch_not_taken_falls_through(self, core_and_space):
+        core, space = core_and_space
+        result = core.execute_user(space, 0x1000, Branch(taken=False, target=0x1040))
+        assert result.new_pc == 0x1000 + INSTRUCTION_BYTES
+
+    def test_mispredict_costs_more(self, core_and_space):
+        core, space = core_and_space
+        # Train until the gshare history saturates (all-taken -> all-ones)
+        # so the final taken prediction is correct and stable.
+        for _ in range(20):
+            core.execute_user(space, 0x1000, Branch(taken=True, target=0x1040))
+        predicted = core.execute_user(space, 0x1000, Branch(taken=True, target=0x1040))
+        surprised = core.execute_user(space, 0x1000, Branch(taken=False, target=0x1040))
+        assert surprised.latency > predicted.latency
+
+    def test_readtime_returns_clock(self, core_and_space):
+        core, space = core_and_space
+        result = core.execute_user(space, 0x1000, ReadTime())
+        assert result.value == core.clock.now
+
+    def test_syscall_traps(self, core_and_space):
+        core, space = core_and_space
+        result = core.execute_user(space, 0x1000, Syscall("nop"))
+        assert result.trap is not None
+        assert result.trap.kind is TrapKind.SYSCALL
+        assert result.trap.syscall.op == "nop"
+
+    def test_halt_traps(self, core_and_space):
+        core, space = core_and_space
+        result = core.execute_user(space, 0x1000, Halt())
+        assert result.trap.kind is TrapKind.HALT
+
+    def test_unmapped_access_faults(self, core_and_space):
+        core, space = core_and_space
+        result = core.execute_user(space, 0x1000, Access(0xDEAD00))
+        assert result.trap.kind is TrapKind.FAULT
+        assert result.trap.fault_vaddr == 0xDEAD00
+
+    def test_unmapped_pc_faults(self, core_and_space):
+        core, space = core_and_space
+        result = core.execute_user(space, 0xDEAD00, Compute(1))
+        assert result.trap.kind is TrapKind.FAULT
+
+    def test_flushline_instruction(self, core_and_space):
+        core, space = core_and_space
+        core.execute_user(space, 0x1000, Access(0x1100))
+        paddr = space.translate(0x1100)
+        assert core.l1d.probe(paddr)
+        core.execute_user(space, 0x1004, FlushLine(0x1100))
+        assert not core.l1d.probe(paddr)
+
+    def test_unknown_instruction_rejected(self, core_and_space):
+        core, space = core_and_space
+        with pytest.raises(TypeError):
+            core.execute_user(space, 0x1000, object())
+
+    def test_latency_deterministic_for_same_state(self):
+        def run():
+            machine = presets.tiny_machine()
+            space = AddressSpaceManager(machine.memory).create()
+            space.map(0x1000, machine.memory.alloc_frame())
+            core = machine.cores[0]
+            return [
+                core.execute_user(space, 0x1000, Access(0x1000 + 8 * i)).latency
+                for i in range(8)
+            ]
+
+        assert run() == run()

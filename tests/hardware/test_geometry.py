@@ -1,0 +1,99 @@
+"""Unit tests for cache geometry and colour arithmetic."""
+
+import pytest
+
+from repro.hardware.geometry import CacheGeometry, TlbGeometry, colour_of_frame
+
+
+class TestCacheGeometry:
+    def test_size_bytes(self):
+        geometry = CacheGeometry(sets=64, ways=4, line_size=32)
+        assert geometry.size_bytes == 64 * 4 * 32
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=63, ways=4, line_size=32)
+
+    def test_rejects_non_power_of_two_line_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=64, ways=4, line_size=48)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=64, ways=0, line_size=32)
+
+    def test_set_index_masks_correctly(self):
+        geometry = CacheGeometry(sets=8, ways=2, line_size=32)
+        assert geometry.set_index(0) == 0
+        assert geometry.set_index(32) == 1
+        assert geometry.set_index(8 * 32) == 0  # wraps past the last set
+        assert geometry.set_index(31) == 0  # offset bits ignored
+
+    def test_tag_above_index(self):
+        geometry = CacheGeometry(sets=8, ways=2, line_size=32)
+        assert geometry.tag(0) == 0
+        assert geometry.tag(8 * 32) == 1
+        # Same set, different tags must differ.
+        assert geometry.tag(0) != geometry.tag(8 * 32)
+        assert geometry.set_index(0) == geometry.set_index(8 * 32)
+
+    def test_line_address_alignment(self):
+        geometry = CacheGeometry(sets=8, ways=2, line_size=32)
+        assert geometry.line_address(33) == 32
+        assert geometry.line_address(32) == 32
+        assert geometry.line_address(31) == 0
+
+
+class TestColours:
+    def test_l1_has_single_colour(self):
+        # per-way capacity == page size -> cannot be partitioned.
+        geometry = CacheGeometry(sets=8, ways=2, line_size=32)
+        assert geometry.n_colours(page_size=256) == 1
+
+    def test_llc_colour_count(self):
+        geometry = CacheGeometry(sets=64, ways=8, line_size=32)
+        assert geometry.n_colours(page_size=256) == 8
+
+    def test_desktop_llc_colours(self):
+        geometry = CacheGeometry(sets=4096, ways=16, line_size=64)
+        assert geometry.n_colours(page_size=4096) == 64
+
+    def test_colour_of_set_is_contiguous_blocks(self):
+        geometry = CacheGeometry(sets=64, ways=8, line_size=32)
+        sets_per_colour = geometry.sets_per_colour(page_size=256)
+        assert sets_per_colour == 8
+        for set_index in range(64):
+            assert geometry.colour_of_set(set_index, 256) == set_index // 8
+
+    def test_colour_of_paddr_matches_frame_colour(self):
+        geometry = CacheGeometry(sets=64, ways=8, line_size=32)
+        page_size = 256
+        n_colours = geometry.n_colours(page_size)
+        for frame in range(32):
+            paddr = frame * page_size + 16
+            assert geometry.colour_of_paddr(paddr, page_size) == colour_of_frame(
+                frame, n_colours
+            )
+
+    def test_all_lines_of_a_page_share_a_colour(self):
+        geometry = CacheGeometry(sets=64, ways=8, line_size=32)
+        page_size = 256
+        for frame in (0, 3, 9):
+            colours = {
+                geometry.colour_of_paddr(frame * page_size + offset, page_size)
+                for offset in range(0, page_size, 32)
+            }
+            assert len(colours) == 1
+
+    def test_colour_of_frame_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            colour_of_frame(3, 0)
+
+
+class TestTlbGeometry:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TlbGeometry(entries=0)
+
+    def test_accepts_positive(self):
+        assert TlbGeometry(entries=16).entries == 16

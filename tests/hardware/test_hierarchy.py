@@ -1,0 +1,157 @@
+"""Tests for the composed memory hierarchy behaviour in Core.cached_access."""
+
+import pytest
+
+from repro.hardware import presets
+from repro.hardware.mmu import AddressSpaceManager
+
+
+@pytest.fixture
+def core_space():
+    machine = presets.tiny_machine()
+    manager = AddressSpaceManager(machine.memory)
+    space = manager.create()
+    for page in range(8):
+        space.map(0x1000 + page * 256, machine.memory.alloc_frame())
+    return machine, machine.cores[0], space
+
+
+class TestHierarchyFill:
+    def test_miss_fills_all_levels(self, core_space):
+        machine, core, space = core_space
+        paddr = space.translate(0x1000)
+        core.cached_access(paddr)
+        assert core.l1d.probe(paddr)
+        assert core.l2.probe(paddr)
+        assert machine.llc.probe(paddr)
+
+    def test_l2_hit_after_l1_eviction(self, core_space):
+        machine, core, space = core_space
+        target = space.translate(0x1000)
+        core.cached_access(target)
+        # Evict from L1 only (same L1 set, different pages).
+        core.l1d.invalidate_line(target)
+        latency = core.cached_access(target)
+        # L2 hit: cheaper than a full miss, dearer than an L1 hit.
+        l1_hit = core.cached_access(target)
+        assert l1_hit < latency
+        fresh = space.translate(0x1700)
+        full_miss = core.cached_access(fresh)
+        assert latency < full_miss
+
+    def test_latency_ordering_l1_l2_llc_dram(self, core_space):
+        machine, core, space = core_space
+        paddr = space.translate(0x1000)
+        dram = core.cached_access(paddr)  # cold: all levels miss
+        l1 = core.cached_access(paddr)
+        core.l1d.invalidate_line(paddr)
+        l2 = core.cached_access(paddr)
+        core.l1d.invalidate_line(paddr)
+        core.l2.invalidate_line(paddr)
+        llc = core.cached_access(paddr)
+        assert l1 < l2 < llc < dram
+
+
+class TestWriteBackPaths:
+    def test_dirty_l1_eviction_costs_more(self, core_space):
+        machine, core, space = core_space
+        # Fill one L1 set (2 ways) with dirty lines, then force evictions.
+        base = space.translate(0x1000)
+        stride = 256  # same L1 set on consecutive pages
+        dirty_cost = 0
+        clean_cost = 0
+        for trial, write in ((0, True), (1, False)):
+            machine2 = presets.tiny_machine()
+            manager = AddressSpaceManager(machine2.memory)
+            space2 = manager.create()
+            for page in range(6):
+                space2.map(0x1000 + page * 256, machine2.memory.alloc_frame())
+            core2 = machine2.cores[0]
+            for page in range(2):
+                core2.cached_access(space2.translate(0x1000 + page * 256),
+                                    write=write)
+                # Let the bus drain: cached_access alone does not advance
+                # the clock, and a busy bus would mask the write-back cost.
+                core2.clock.advance(1000)
+            # Third line in the same set evicts the first (dirty or clean).
+            cost = core2.cached_access(space2.translate(0x1000 + 2 * 256))
+            if write:
+                dirty_cost = cost
+            else:
+                clean_cost = cost
+        assert dirty_cost > clean_cost
+
+    def test_memory_values_survive_eviction(self, core_space):
+        machine, core, space = core_space
+        from repro.hardware import Access
+
+        core.execute_user(space, 0x1000, Access(0x1008, write=True, value=1234))
+        paddr = space.translate(0x1008)
+        core.flush_line_everywhere(paddr)
+        result = core.execute_user(space, 0x1004, Access(0x1008))
+        assert result.value == 1234
+
+
+class TestPrefetcherIntegration:
+    def test_stride_prefetch_fills_l2(self, core_space):
+        machine, core, space = core_space
+        # A steady stride within one 4 KiB region trains the prefetcher.
+        addresses = [space.translate(0x1000 + i * 32) for i in range(6)]
+        for paddr in addresses:
+            core.cached_access(paddr)
+        ahead = addresses[-1] + 32
+        assert core.l2.probe(ahead)
+        assert not core.l1d.probe(ahead)  # prefetch targets L2, not L1
+
+    def test_prefetched_line_is_cheaper(self, core_space):
+        machine, core, space = core_space
+        for i in range(6):
+            core.cached_access(space.translate(0x1000 + i * 32))
+        prefetched = core.cached_access(space.translate(0x1000 + 6 * 32))
+        cold_machine = presets.tiny_machine()
+        manager = AddressSpaceManager(cold_machine.memory)
+        cold_space = manager.create()
+        cold_space.map(0x1000, cold_machine.memory.alloc_frame())
+        cold = cold_machine.cores[0].cached_access(cold_space.translate(0x1000))
+        assert prefetched < cold
+
+
+class TestBusCoupling:
+    def test_llc_misses_use_the_shared_bus(self):
+        machine = presets.tiny_machine(n_cores=2)
+        manager = AddressSpaceManager(machine.memory)
+        space = manager.create()
+        space.map(0x1000, machine.memory.alloc_frame())
+        before = machine.interconnect.total_transfers
+        machine.cores[0].cached_access(space.translate(0x1000))
+        assert machine.interconnect.total_transfers == before + 1
+
+    def test_hits_do_not_use_the_bus(self):
+        machine = presets.tiny_machine()
+        manager = AddressSpaceManager(machine.memory)
+        space = manager.create()
+        space.map(0x1000, machine.memory.alloc_frame())
+        paddr = space.translate(0x1000)
+        machine.cores[0].cached_access(paddr)
+        before = machine.interconnect.total_transfers
+        machine.cores[0].cached_access(paddr)
+        assert machine.interconnect.total_transfers == before
+
+    def test_concurrent_miss_sees_queueing_delay(self):
+        machine = presets.tiny_machine(n_cores=2)
+        manager = AddressSpaceManager(machine.memory)
+        spaces = [manager.create(), manager.create()]
+        for space in spaces:
+            space.map(0x1000, machine.memory.alloc_frame())
+        # Core 1 occupies the bus "now"; core 0's miss right after waits.
+        machine.cores[1].clock.advance(1000)
+        machine.cores[0].clock.advance(1000)
+        quiet = presets.tiny_machine()
+        qm = AddressSpaceManager(quiet.memory)
+        qs = qm.create()
+        qs.map(0x1000, quiet.memory.alloc_frame())
+        quiet.cores[0].clock.advance(1000)
+        baseline = quiet.cores[0].cached_access(qs.translate(0x1000))
+        machine.cores[1].cached_access(spaces[1].translate(0x1000))
+        contended = machine.cores[0].cached_access(spaces[0].translate(0x1000))
+        assert contended > baseline

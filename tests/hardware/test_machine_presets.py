@@ -1,0 +1,101 @@
+"""Unit tests for machine assembly and the contract-violation presets."""
+
+import pytest
+
+from repro.hardware import Machine, MachineConfig, StateCategory, presets
+
+
+class TestMachineAssembly:
+    def test_tiny_machine_shape(self):
+        machine = presets.tiny_machine()
+        assert len(machine.cores) == 1
+        assert machine.n_colours == 8
+        assert machine.page_size == 256
+
+    def test_cores_share_llc(self):
+        machine = presets.tiny_machine(n_cores=2)
+        assert machine.cores[0].llc is machine.cores[1].llc
+
+    def test_cores_have_private_l1(self):
+        machine = presets.tiny_machine(n_cores=2)
+        assert machine.cores[0].l1d is not machine.cores[1].l1d
+
+    def test_element_names_unique(self):
+        machine = presets.tiny_machine(n_cores=2)
+        names = [e.name for e in machine.all_state_elements()]
+        assert len(names) == len(set(names))
+
+    def test_all_state_elements_count(self):
+        machine = presets.tiny_machine(n_cores=2)
+        # llc + 6 private elements per core.
+        assert len(machine.all_state_elements()) == 1 + 6 * 2
+
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(ValueError):
+            Machine(MachineConfig(n_cores=0))
+
+    def test_desktop_machine_colours(self):
+        machine = presets.desktop_machine()
+        assert machine.n_colours == 64
+        assert machine.page_size == 4096
+
+    def test_fingerprint_all_covers_every_element(self):
+        machine = presets.tiny_machine()
+        fingerprints = dict(machine.fingerprint_all())
+        assert set(fingerprints) == {e.name for e in machine.all_state_elements()}
+
+
+class TestSmtPreset:
+    def test_smt_shares_private_state(self):
+        machine = presets.tiny_smt_machine()
+        assert machine.cores[0].l1d is machine.cores[1].l1d
+        assert machine.cores[0].tlb is machine.cores[1].tlb
+
+    def test_smt_private_state_becomes_unmanaged(self):
+        machine = presets.tiny_smt_machine()
+        assert (
+            machine.cores[0].l1d.effective_category() is StateCategory.UNMANAGED
+        )
+
+    def test_smt_needs_even_cores(self):
+        config = presets.tiny_config(n_cores=3)
+        config.smt = True
+        with pytest.raises(ValueError):
+            Machine(config)
+
+    def test_smt_elements_deduplicated(self):
+        machine = presets.tiny_smt_machine()
+        # One LLC plus ONE set of shared private elements.
+        assert len(machine.all_state_elements()) == 1 + 6
+
+
+class TestViolationPresets:
+    def test_unflushable_prefetcher_unmanaged(self):
+        machine = presets.tiny_unflushable_machine()
+        assert (
+            machine.cores[0].prefetcher.effective_category()
+            is StateCategory.UNMANAGED
+        )
+
+    def test_broken_flush_keeps_residue(self):
+        machine = presets.tiny_broken_flush_machine()
+        l1d = machine.cores[0].l1d
+        for i in range(16):
+            l1d.access(i * 32)
+        l1d.flush()
+        assert l1d.fingerprint() != l1d.reset_fingerprint()
+
+    def test_nocolour_llc_single_partition(self):
+        machine = presets.tiny_nocolour_machine()
+        assert machine.llc.n_partitions == 1
+        assert machine.llc.effective_category() is StateCategory.UNMANAGED
+
+    def test_contended_machine_has_slow_bus(self):
+        machine = presets.contended_machine()
+        assert machine.interconnect.transfer_cycles > presets.tiny_machine(
+        ).interconnect.transfer_cycles
+
+    def test_healthy_tiny_machine_fully_managed(self):
+        machine = presets.tiny_machine()
+        for element in machine.all_state_elements():
+            assert element.effective_category() is not StateCategory.UNMANAGED

@@ -1,0 +1,110 @@
+"""Unit tests for physical memory, frames and address spaces."""
+
+import pytest
+
+from repro.hardware.memory import PhysicalMemory
+from repro.hardware.mmu import AddressSpaceManager, TranslationFault
+
+
+def make_memory(frames=64, page_size=256, n_colours=8):
+    return PhysicalMemory(total_frames=frames, page_size=page_size, n_colours=n_colours)
+
+
+class TestFrameAllocation:
+    def test_frames_cycle_through_colours(self):
+        memory = make_memory()
+        colours = [frame.colour for frame in memory.frames[:16]]
+        assert colours == [i % 8 for i in range(16)]
+
+    def test_alloc_respects_colour_filter(self):
+        memory = make_memory()
+        frame = memory.alloc_frame(colours={3})
+        assert frame.colour == 3
+
+    def test_alloc_exhaustion_raises(self):
+        memory = make_memory(frames=8)  # one frame per colour
+        memory.alloc_frame(colours={0})
+        with pytest.raises(MemoryError):
+            memory.alloc_frame(colours={0})
+
+    def test_release_returns_frames(self):
+        memory = make_memory(frames=8)
+        frame = memory.alloc_frame(colours={2})
+        assert memory.free_frames({2}) == 0
+        memory.release([frame])
+        assert memory.free_frames({2}) == 1
+
+    def test_free_frames_counts(self):
+        memory = make_memory(frames=16)
+        assert memory.free_frames() == 16
+        memory.alloc_frames(4)
+        assert memory.free_frames() == 12
+
+    def test_word_read_write(self):
+        memory = make_memory()
+        assert memory.read_word(0x100) == 0
+        memory.write_word(0x100, 42)
+        assert memory.read_word(0x100) == 42
+
+
+class TestAddressSpace:
+    def test_map_and_translate(self):
+        memory = make_memory()
+        manager = AddressSpaceManager(memory)
+        space = manager.create()
+        frame = memory.alloc_frame()
+        space.map(0x1000, frame)
+        paddr = space.translate(0x1010)
+        assert paddr == frame.base_paddr(256) + 0x10
+
+    def test_unmapped_raises_fault(self):
+        memory = make_memory()
+        space = AddressSpaceManager(memory).create()
+        with pytest.raises(TranslationFault):
+            space.translate(0x9999)
+
+    def test_unmap(self):
+        memory = make_memory()
+        space = AddressSpaceManager(memory).create()
+        frame = memory.alloc_frame()
+        space.map(0x1000, frame)
+        space.unmap(0x1000)
+        with pytest.raises(TranslationFault):
+            space.translate(0x1000)
+
+    def test_generation_bumps_on_modification(self):
+        memory = make_memory()
+        space = AddressSpaceManager(memory).create()
+        generation = space.generation
+        space.map(0x1000, memory.alloc_frame())
+        assert space.generation == generation + 1
+        space.unmap(0x1000)
+        assert space.generation == generation + 2
+
+    def test_asids_are_unique(self):
+        memory = make_memory()
+        manager = AddressSpaceManager(memory)
+        asids = {manager.create().asid for _ in range(5)}
+        assert len(asids) == 5
+
+    def test_walk_addresses_inside_root_frame(self):
+        memory = make_memory()
+        space = AddressSpaceManager(memory).create()
+        base = space.root_frame.base_paddr(256)
+        for walk_addr in space.walk_addresses(0x4321):
+            assert base <= walk_addr < base + 256
+
+    def test_root_frame_colour_filter(self):
+        memory = make_memory()
+        manager = AddressSpaceManager(memory)
+        space = manager.create(colours={5})
+        assert space.root_frame.colour == 5
+
+    def test_frames_lists_root_and_mappings(self):
+        memory = make_memory()
+        space = AddressSpaceManager(memory).create()
+        frame = memory.alloc_frame()
+        space.map(0x1000, frame)
+        numbers = {f.number for f in space.frames()}
+        assert space.root_frame.number in numbers
+        assert frame.number in numbers

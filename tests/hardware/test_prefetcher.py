@@ -1,0 +1,66 @@
+"""Unit tests for the stride prefetcher."""
+
+from repro.hardware.prefetcher import StridePrefetcher
+from repro.hardware.state import StateCategory
+
+
+def make_prefetcher(**kwargs):
+    return StridePrefetcher(name="test.pf", **kwargs)
+
+
+class TestStrideDetection:
+    def test_no_prefetch_on_first_accesses(self):
+        prefetcher = make_prefetcher()
+        assert prefetcher.observe(0x1000) == []
+        assert prefetcher.observe(0x1040) == []
+
+    def test_stable_stride_triggers_prefetch(self):
+        prefetcher = make_prefetcher(degree=2)
+        addresses = [0x1000 + i * 64 for i in range(5)]
+        issued = []
+        for address in addresses:
+            issued = prefetcher.observe(address)
+        assert issued == [addresses[-1] + 64, addresses[-1] + 128]
+
+    def test_erratic_stride_never_prefetches(self):
+        prefetcher = make_prefetcher()
+        for address in (0x1000, 0x1040, 0x10C0, 0x1020, 0x1100, 0x1010):
+            issued = prefetcher.observe(address)
+        assert issued == []
+
+    def test_negative_stride_supported(self):
+        prefetcher = make_prefetcher(degree=1)
+        issued = []
+        for i in range(5):
+            issued = prefetcher.observe(0x2000 - i * 32)
+        assert issued == [0x2000 - 5 * 32]
+
+    def test_table_capacity_bounded(self):
+        prefetcher = make_prefetcher(table_entries=2, region_bits=12)
+        for region in range(6):
+            prefetcher.observe(region << 12)
+        assert len(prefetcher.fingerprint()) <= 2
+
+
+class TestFlushability:
+    def test_flush_clears_table(self):
+        prefetcher = make_prefetcher()
+        for i in range(4):
+            prefetcher.observe(0x1000 + i * 64)
+        prefetcher.flush()
+        assert prefetcher.fingerprint() == prefetcher.reset_fingerprint()
+
+    def test_unflushable_hardware_keeps_state(self):
+        prefetcher = make_prefetcher(flushable_in_hardware=False)
+        for i in range(4):
+            prefetcher.observe(0x1000 + i * 64)
+        prefetcher.flush()
+        assert prefetcher.fingerprint() != prefetcher.reset_fingerprint()
+
+    def test_unflushable_hardware_is_unmanaged(self):
+        prefetcher = make_prefetcher(flushable_in_hardware=False)
+        assert prefetcher.effective_category() is StateCategory.UNMANAGED
+
+    def test_flushable_hardware_is_flushable(self):
+        prefetcher = make_prefetcher()
+        assert prefetcher.effective_category() is StateCategory.FLUSHABLE

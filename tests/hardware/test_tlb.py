@@ -1,0 +1,112 @@
+"""Unit tests for the ASID-tagged TLB (Syeda & Klein-style model)."""
+
+from repro.hardware.geometry import TlbGeometry
+from repro.hardware.memory import PhysicalMemory
+from repro.hardware.mmu import AddressSpaceManager
+from repro.hardware.tlb import Tlb
+
+
+def make_tlb(entries=4):
+    return Tlb(name="test.tlb", geometry=TlbGeometry(entries=entries))
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        assert tlb.lookup(1, 0x10).hit is False
+        tlb.fill(asid=1, vpage=0x10, frame_number=5, writable=True, generation=0)
+        result = tlb.lookup(1, 0x10)
+        assert result.hit is True
+        assert result.frame_number == 5
+
+    def test_asid_tags_distinguish_spaces(self):
+        tlb = make_tlb()
+        tlb.fill(asid=1, vpage=0x10, frame_number=5, writable=True, generation=0)
+        assert tlb.lookup(2, 0x10).hit is False
+
+    def test_lru_eviction_when_full(self):
+        tlb = make_tlb(entries=2)
+        tlb.fill(1, 0x10, 5, True, 0)
+        tlb.fill(1, 0x11, 6, True, 0)
+        tlb.lookup(1, 0x10)  # refresh
+        tlb.fill(1, 0x12, 7, True, 0)  # evicts (1, 0x11)
+        assert tlb.lookup(1, 0x10).hit is True
+        assert tlb.lookup(1, 0x11).hit is False
+
+    def test_capacity_never_exceeded(self):
+        tlb = make_tlb(entries=3)
+        for vpage in range(10):
+            tlb.fill(1, vpage, vpage, True, 0)
+        assert len(tlb.entries_for_asid(1)) <= 3
+
+
+class TestInvalidation:
+    def test_invalidate_asid_removes_only_that_asid(self):
+        tlb = make_tlb(entries=8)
+        tlb.fill(1, 0x10, 5, True, 0)
+        tlb.fill(1, 0x11, 6, True, 0)
+        tlb.fill(2, 0x10, 7, True, 0)
+        removed = tlb.invalidate_asid(1)
+        assert removed == 2
+        assert tlb.lookup(2, 0x10).hit is True
+
+    def test_invalidate_page(self):
+        tlb = make_tlb()
+        tlb.fill(1, 0x10, 5, True, 0)
+        assert tlb.invalidate_page(1, 0x10) is True
+        assert tlb.lookup(1, 0x10).hit is False
+        assert tlb.invalidate_page(1, 0x10) is False
+
+    def test_flush_clears_everything(self):
+        tlb = make_tlb()
+        tlb.fill(1, 0x10, 5, True, 0)
+        tlb.fill(2, 0x20, 6, True, 0)
+        tlb.flush()
+        assert tlb.fingerprint() == tlb.reset_fingerprint()
+
+
+class TestAsidIsolationTheorem:
+    """Sect. 5.3: page-table mods under one ASID don't affect another's
+    TLB consistency -- the partitioning theorem the paper points at."""
+
+    def _spaces(self):
+        memory = PhysicalMemory(total_frames=64, page_size=256, n_colours=8)
+        manager = AddressSpaceManager(memory)
+        space_a = manager.create()
+        space_b = manager.create()
+        frame_a = memory.alloc_frame()
+        frame_b = memory.alloc_frame()
+        space_a.map(0x1000, frame_a)
+        space_b.map(0x1000, frame_b)
+        return memory, space_a, space_b
+
+    def test_consistency_predicate_holds_after_fill(self):
+        _memory, space_a, space_b = self._spaces()
+        tlb = make_tlb(entries=8)
+        mapping = space_a.lookup(0x1000)
+        tlb.fill(space_a.asid, 0x1000 // 256, mapping.frame.number, True,
+                 space_a.generation)
+        assert tlb.consistent_with(space_a.asid, space_a)
+
+    def test_other_asid_mutation_preserves_consistency(self):
+        memory, space_a, space_b = self._spaces()
+        tlb = make_tlb(entries=8)
+        mapping = space_a.lookup(0x1000)
+        tlb.fill(space_a.asid, 0x1000 // 256, mapping.frame.number, True,
+                 space_a.generation)
+        # Mutate B's page table arbitrarily.
+        space_b.unmap(0x1000)
+        space_b.map(0x2000, memory.alloc_frame())
+        assert tlb.consistent_with(space_a.asid, space_a)
+
+    def test_own_asid_mutation_breaks_consistency_until_shootdown(self):
+        memory, space_a, _space_b = self._spaces()
+        tlb = make_tlb(entries=8)
+        mapping = space_a.lookup(0x1000)
+        vpage = 0x1000 // 256
+        tlb.fill(space_a.asid, vpage, mapping.frame.number, True, space_a.generation)
+        space_a.unmap(0x1000)
+        space_a.map(0x1000, memory.alloc_frame())
+        assert not tlb.consistent_with(space_a.asid, space_a)
+        tlb.invalidate_page(space_a.asid, vpage)
+        assert tlb.consistent_with(space_a.asid, space_a)

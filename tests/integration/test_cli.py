@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import MACHINES, TP_CONFIGS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["prove"])
+        assert args.machine == "tiny"
+        assert args.tp == "full"
+
+    def test_known_machines_and_configs(self):
+        assert "tiny" in MACHINES and "smt" in MACHINES
+        assert "full" in TP_CONFIGS and "none" in TP_CONFIGS
+        # Every registered factory actually builds.
+        for factory in MACHINES.values():
+            factory()
+        for config in TP_CONFIGS.values():
+            config()
+
+
+class TestInspect:
+    def test_conforming_machine_exits_zero(self, capsys):
+        assert main(["inspect", "--machine", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "conforms to the aISA contract" in out
+
+    def test_violating_machine_exits_nonzero(self, capsys):
+        assert main(["inspect", "--machine", "smt"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATES" in out
+        assert "unmanaged" in out
+
+
+class TestProve:
+    def test_protected_system_proves(self, capsys):
+        code = main(
+            ["prove", "--machine", "tiny", "--tp", "full",
+             "--secrets", "1,9", "--max-cycles", "250000"]
+        )
+        assert code == 0
+        assert "THEOREM HOLDS" in capsys.readouterr().out
+
+    def test_unprotected_system_fails(self, capsys):
+        code = main(
+            ["prove", "--machine", "tiny", "--tp", "none",
+             "--secrets", "1,9", "--max-cycles", "250000"]
+        )
+        assert code == 1
+        assert "THEOREM FAILS" in capsys.readouterr().out
+
+
+class TestChannels:
+    def test_survey_reports_closed_channels(self, capsys):
+        code = main(["channels", "--machine", "tiny", "--tp", "full",
+                     "--only", "e5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all surveyed channels closed" in out
+
+    def test_survey_reports_leaks_without_protection(self, capsys):
+        # E5 specifically needs flushing on (its channel is the flush
+        # latency); the occupancy channel leaks under a fully bare kernel.
+        code = main(["channels", "--machine", "tiny", "--tp", "none",
+                     "--only", "occupancy"])
+        assert code == 0
+        assert "LEAKY" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["channels", "--only", "bogus"]) == 2

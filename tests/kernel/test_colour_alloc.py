@@ -1,0 +1,83 @@
+"""Unit tests for the colour-aware frame allocator."""
+
+import pytest
+
+from repro.hardware.memory import PhysicalMemory
+from repro.kernel.colour_alloc import ColourAwareAllocator, ColourExhausted
+
+
+def make_allocator(colouring=True, frames=64, n_colours=8):
+    memory = PhysicalMemory(total_frames=frames, page_size=256, n_colours=n_colours)
+    return ColourAwareAllocator(memory, colouring_enabled=colouring)
+
+
+class TestColourAssignment:
+    def test_kernel_reserves_colour_zero(self):
+        allocator = make_allocator()
+        assert allocator.kernel_colours == {0}
+        assert 0 not in allocator.available_colours()
+
+    def test_assignments_are_disjoint(self):
+        allocator = make_allocator()
+        a = allocator.assign_domain_colours("A", 3)
+        b = allocator.assign_domain_colours("B", 3)
+        assert not (a & b)
+        assert allocator.verify_disjoint()
+
+    def test_exhaustion_raises(self):
+        allocator = make_allocator()
+        allocator.assign_domain_colours("A", 7)  # 8 - 1 kernel colour
+        with pytest.raises(ColourExhausted):
+            allocator.assign_domain_colours("B", 1)
+
+    def test_over_request_raises(self):
+        allocator = make_allocator()
+        with pytest.raises(ColourExhausted):
+            allocator.assign_domain_colours("A", 99)
+
+    def test_colouring_disabled_gives_everything(self):
+        allocator = make_allocator(colouring=False)
+        a = allocator.assign_domain_colours("A")
+        b = allocator.assign_domain_colours("B")
+        assert a == b == set(range(8))
+        assert not allocator.verify_disjoint()  # two overlapping domains
+
+    def test_default_share_is_quarter_of_free(self):
+        allocator = make_allocator()
+        share = allocator.assign_domain_colours("A")
+        assert len(share) == max(1, 7 // 4)
+
+    def test_assignments_report_includes_kernel(self):
+        allocator = make_allocator()
+        allocator.assign_domain_colours("A", 2)
+        report = allocator.assignments()
+        assert report["@kernel"] == {0}
+        assert len(report["A"]) == 2
+
+
+class TestFrameAllocation:
+    def test_frames_match_domain_colours(self):
+        allocator = make_allocator()
+        colours = allocator.assign_domain_colours("A", 2)
+        frames = allocator.alloc_for_domain("A", 6)
+        assert all(frame.colour in colours for frame in frames)
+
+    def test_kernel_frames_use_reserved_colour(self):
+        allocator = make_allocator()
+        frames = allocator.alloc_kernel_frames(3)
+        assert all(frame.colour == 0 for frame in frames)
+
+    def test_unassigned_domain_rejected(self):
+        allocator = make_allocator()
+        with pytest.raises(KeyError):
+            allocator.alloc_for_domain("ghost", 1)
+
+    def test_colouring_disabled_allocates_first_fit(self):
+        allocator = make_allocator(colouring=False)
+        allocator.assign_domain_colours("A")
+        frames = allocator.alloc_for_domain("A", 4)
+        assert [frame.number for frame in frames] == [0, 1, 2, 3]
+
+    def test_single_colour_llc_reserves_nothing(self):
+        allocator = make_allocator(n_colours=1)
+        assert allocator.kernel_colours == set()

@@ -1,0 +1,141 @@
+"""Multicore kernel behaviour: cross-core IPC, per-core schedules."""
+
+from repro.hardware import Compute, Halt, ReadTime, Syscall, presets
+from repro.kernel import Kernel, ThreadState, TimeProtectionConfig
+
+
+class TestCrossCoreIpc:
+    def test_message_crosses_cores(self):
+        received = {}
+
+        def sender(ctx):
+            yield Compute(100)
+            yield Syscall("send", (ctx.params["ep"], 777))
+            yield Halt()
+
+        def receiver(ctx):
+            message = yield Syscall("recv", (ctx.params["ep"],))
+            received["value"] = message.value
+            yield Halt()
+
+        machine = presets.tiny_machine(n_cores=2)
+        kernel = Kernel(machine, TimeProtectionConfig.full())
+        domain_a = kernel.create_domain("A", n_colours=2)
+        domain_b = kernel.create_domain("B", n_colours=2)
+        endpoint = kernel.create_endpoint("pipe")
+        kernel.create_thread(
+            domain_a, sender, core_id=0, params={"ep": endpoint.endpoint_id}
+        )
+        kernel.create_thread(
+            domain_b, receiver, core_id=1, params={"ep": endpoint.endpoint_id}
+        )
+        kernel.set_schedule(0, [(domain_a, None)])
+        kernel.set_schedule(1, [(domain_b, None)])
+        kernel.run(max_cycles=200_000)
+        assert received.get("value") == 777
+
+    def test_receiver_blocks_until_cross_core_send(self):
+        stamps = {}
+
+        def slow_sender(ctx):
+            yield Syscall("sleep", (30_000,))
+            yield Syscall("send", (ctx.params["ep"], 1))
+            yield Halt()
+
+        def receiver(ctx):
+            yield Syscall("recv", (ctx.params["ep"],))
+            stamp = yield ReadTime()
+            stamps["arrival"] = stamp.value
+            yield Halt()
+
+        machine = presets.tiny_machine(n_cores=2)
+        kernel = Kernel(machine, TimeProtectionConfig.full())
+        domain_a = kernel.create_domain("A", n_colours=2)
+        domain_b = kernel.create_domain("B", n_colours=2)
+        endpoint = kernel.create_endpoint("pipe")
+        kernel.create_thread(
+            domain_a, slow_sender, core_id=0, params={"ep": endpoint.endpoint_id}
+        )
+        kernel.create_thread(
+            domain_b, receiver, core_id=1, params={"ep": endpoint.endpoint_id}
+        )
+        kernel.set_schedule(0, [(domain_a, None)])
+        kernel.set_schedule(1, [(domain_b, None)])
+        kernel.run(max_cycles=300_000)
+        assert stamps["arrival"] >= 30_000
+
+    def test_same_domain_on_two_cores(self):
+        progress = {"c0": 0, "c1": 0}
+
+        def worker(tag):
+            def program(ctx):
+                for _ in range(20):
+                    yield Compute(50)
+                    progress[tag] += 1
+                yield Halt()
+
+            return program
+
+        machine = presets.tiny_machine(n_cores=2)
+        kernel = Kernel(machine, TimeProtectionConfig.full())
+        domain = kernel.create_domain("A", n_colours=2)
+        kernel.create_thread(domain, worker("c0"), core_id=0)
+        kernel.create_thread(domain, worker("c1"), core_id=1)
+        kernel.set_schedule(0, [(domain, None)])
+        kernel.set_schedule(1, [(domain, None)])
+        kernel.run(max_cycles=200_000)
+        assert progress["c0"] == 20
+        assert progress["c1"] == 20
+
+
+class TestPerCoreScheduling:
+    def test_cores_advance_in_global_time_order(self):
+        def busy(ctx):
+            while True:
+                yield Compute(10)
+
+        machine = presets.tiny_machine(n_cores=2)
+        kernel = Kernel(machine, TimeProtectionConfig.full())
+        domain_a = kernel.create_domain("A", n_colours=2)
+        domain_b = kernel.create_domain("B", n_colours=2)
+        kernel.create_thread(domain_a, busy, core_id=0)
+        kernel.create_thread(domain_b, busy, core_id=1)
+        kernel.set_schedule(0, [(domain_a, None)])
+        kernel.set_schedule(1, [(domain_b, None)])
+        kernel.run(max_cycles=100_000)
+        clocks = [core.clock.now for core in machine.cores]
+        assert all(clock >= 100_000 for clock in clocks)
+        # Neither core ran far ahead of the other.
+        assert abs(clocks[0] - clocks[1]) < 10_000
+
+    def test_unscheduled_core_stays_idle(self):
+        def busy(ctx):
+            while True:
+                yield Compute(10)
+
+        machine = presets.tiny_machine(n_cores=2)
+        kernel = Kernel(machine, TimeProtectionConfig.full())
+        domain = kernel.create_domain("A", n_colours=2)
+        kernel.create_thread(domain, busy, core_id=0)
+        kernel.set_schedule(0, [(domain, None)])
+        kernel.run(max_cycles=50_000)
+        assert machine.cores[0].clock.now >= 50_000
+        assert machine.cores[1].clock.now == 0
+
+    def test_thread_on_unscheduled_core_never_runs(self):
+        ran = {"flag": False}
+
+        def oops(ctx):
+            ran["flag"] = True
+            yield Halt()
+
+        machine = presets.tiny_machine(n_cores=2)
+        kernel = Kernel(machine, TimeProtectionConfig.full())
+        domain_a = kernel.create_domain("A", n_colours=2)
+        domain_b = kernel.create_domain("B", n_colours=2)
+        kernel.create_thread(domain_a, lambda ctx: iter([Halt()]), core_id=0)
+        tcb = kernel.create_thread(domain_b, oops, core_id=1)
+        kernel.set_schedule(0, [(domain_a, None)])  # core 1 unscheduled
+        kernel.run(max_cycles=50_000)
+        assert ran["flag"] is False
+        assert tcb.state is ThreadState.READY

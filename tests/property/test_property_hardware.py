@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) over the hardware substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.cache import Cache, LatencyParams, ReplacementPolicy
+from repro.hardware.geometry import CacheGeometry, colour_of_frame
+from repro.hardware.prefetcher import StridePrefetcher
+from repro.hardware.state import Scope, StateCategory
+from repro.hardware.tlb import Tlb
+from repro.hardware.geometry import TlbGeometry
+
+
+def make_cache(sets=8, ways=2, policy=ReplacementPolicy.LRU):
+    return Cache(
+        name="prop.cache",
+        geometry=CacheGeometry(sets=sets, ways=ways, line_size=32),
+        category=StateCategory.FLUSHABLE,
+        scope=Scope.CORE_LOCAL,
+        latency=LatencyParams(hit_cycles=4),
+        page_size=256,
+        policy=policy,
+    )
+
+
+addresses = st.integers(min_value=0, max_value=0xFFFF)
+access_sequences = st.lists(
+    st.tuples(addresses, st.booleans()), min_size=1, max_size=200
+)
+
+
+class TestCacheProperties:
+    @given(access_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_geometry(self, sequence):
+        cache = make_cache()
+        for address, write in sequence:
+            cache.access(address, write=write)
+        for set_index in range(cache.geometry.sets):
+            assert cache.occupancy(set_index) <= cache.geometry.ways
+
+    @given(access_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_flush_is_idempotent_and_total(self, sequence):
+        cache = make_cache()
+        for address, write in sequence:
+            cache.access(address, write=write)
+        cache.flush()
+        assert cache.fingerprint() == cache.reset_fingerprint()
+        second = cache.flush()
+        assert cache.fingerprint() == cache.reset_fingerprint()
+        assert second.lines_written_back == 0
+
+    @given(access_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_immediate_reaccess_always_hits(self, sequence):
+        cache = make_cache()
+        for address, write in sequence:
+            cache.access(address, write=write)
+            assert cache.access(address).hit is True
+
+    @given(access_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_dirty_count_bounded_by_capacity(self, sequence):
+        cache = make_cache()
+        for address, write in sequence:
+            cache.access(address, write=write)
+        capacity = cache.geometry.sets * cache.geometry.ways
+        assert 0 <= cache.dirty_line_count() <= capacity
+
+    @given(access_sequences, st.sampled_from(list(ReplacementPolicy)))
+    @settings(max_examples=40, deadline=None)
+    def test_determinism_across_policies(self, sequence, policy):
+        def run():
+            cache = make_cache(ways=4, policy=policy)
+            hits = []
+            for address, write in sequence:
+                hits.append(cache.access(address, write=write).hit)
+            return hits, cache.fingerprint()
+
+        assert run() == run()
+
+    @given(access_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_set_confinement(self, sequence):
+        """An access only ever perturbs its own set."""
+        cache = make_cache()
+        for address, write in sequence:
+            before = {
+                s: cache.resident_tags(s) for s in range(cache.geometry.sets)
+            }
+            result = cache.access(address, write=write)
+            for set_index in range(cache.geometry.sets):
+                if set_index != result.set_index:
+                    assert cache.resident_tags(set_index) == before[set_index]
+
+
+class TestColourProperties:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([1, 2, 4, 8, 16, 64]),
+    )
+    def test_colour_in_range(self, frame, n_colours):
+        assert 0 <= colour_of_frame(frame, n_colours) < n_colours
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_page_colour_constant_within_page(self, frame):
+        geometry = CacheGeometry(sets=64, ways=8, line_size=32)
+        page_size = 256
+        colours = {
+            geometry.colour_of_paddr(frame * page_size + offset, page_size)
+            for offset in range(0, page_size, 32)
+        }
+        assert len(colours) == 1
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_set_colour_partition_is_total(self, set_index):
+        geometry = CacheGeometry(sets=64, ways=8, line_size=32)
+        colour = geometry.colour_of_set(set_index, 256)
+        assert 0 <= colour < geometry.n_colours(256)
+
+
+class TestTlbProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),  # asid
+                st.integers(min_value=0, max_value=30),  # vpage
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_and_flush(self, fills):
+        tlb = Tlb(name="prop.tlb", geometry=TlbGeometry(entries=8))
+        for asid, vpage in fills:
+            tlb.fill(asid, vpage, frame_number=vpage, writable=True, generation=0)
+        total = sum(len(tlb.entries_for_asid(a)) for a in range(1, 5))
+        assert total <= 8
+        tlb.flush()
+        assert tlb.fingerprint() == tlb.reset_fingerprint()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 4), st.integers(0, 30)),
+            min_size=1,
+            max_size=80,
+        ),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invalidate_asid_is_selective(self, fills, victim_asid):
+        tlb = Tlb(name="prop.tlb", geometry=TlbGeometry(entries=16))
+        for asid, vpage in fills:
+            tlb.fill(asid, vpage, frame_number=vpage, writable=True, generation=0)
+        others_before = {
+            asid: tlb.entries_for_asid(asid)
+            for asid in range(1, 5)
+            if asid != victim_asid
+        }
+        tlb.invalidate_asid(victim_asid)
+        assert tlb.entries_for_asid(victim_asid) == {}
+        for asid, entries in others_before.items():
+            assert tlb.entries_for_asid(asid).keys() == entries.keys()
+
+
+class TestPrefetcherProperties:
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_prefetches_follow_observed_stride(self, sequence):
+        prefetcher = StridePrefetcher(name="prop.pf", degree=2)
+        last_by_region = {}
+        for address in sequence:
+            region = address >> prefetcher.region_bits
+            issued = prefetcher.observe(address)
+            if issued:
+                stride = address - last_by_region.get(region, address)
+                assert issued == [address + stride, address + 2 * stride]
+            last_by_region[region] = address
+
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_flush_always_resets(self, sequence):
+        prefetcher = StridePrefetcher(name="prop.pf")
+        for address in sequence:
+            prefetcher.observe(address)
+        prefetcher.flush()
+        assert prefetcher.fingerprint() == prefetcher.reset_fingerprint()

@@ -1,0 +1,114 @@
+"""Property-based tests over the kernel and the noninterference claim."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.memory import PhysicalMemory
+from repro.kernel import TimeProtectionConfig
+from repro.kernel.colour_alloc import ColourAwareAllocator, ColourExhausted
+from repro.kernel.ipc import EndpointTable
+
+from tests.conftest import build_two_domain_system
+
+
+class TestAllocatorProperties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assignments_always_disjoint(self, requests):
+        memory = PhysicalMemory(total_frames=128, page_size=256, n_colours=16)
+        allocator = ColourAwareAllocator(memory, colouring_enabled=True)
+        for index, count in enumerate(requests):
+            try:
+                allocator.assign_domain_colours(f"d{index}", count)
+            except ColourExhausted:
+                break
+        assert allocator.verify_disjoint()
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=5),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_frames_never_cross_partitions(self, requests, frames_each):
+        memory = PhysicalMemory(total_frames=256, page_size=256, n_colours=16)
+        allocator = ColourAwareAllocator(memory, colouring_enabled=True)
+        domains = []
+        for index, count in enumerate(requests):
+            try:
+                allocator.assign_domain_colours(f"d{index}", count)
+                domains.append(f"d{index}")
+            except ColourExhausted:
+                break
+        seen = {}
+        for name in domains:
+            for frame in allocator.alloc_for_domain(name, frames_each):
+                assert frame.colour in allocator.colours_of(name)
+                assert frame.number not in seen
+                seen[frame.number] = name
+
+
+class TestIpcProperties:
+    @given(
+        st.integers(min_value=0, max_value=10_000),  # now
+        st.integers(min_value=0, max_value=10_000),  # slice start
+        st.integers(min_value=0, max_value=8_000),  # min exec
+    )
+    def test_padded_visibility_lower_bound(self, now, slice_start, min_exec):
+        table = EndpointTable(padded_ipc=True)
+        endpoint = table.create("e", min_exec_cycles=min_exec)
+        message = table.enqueue(endpoint, 1, "Hi", now=now, sender_slice_start=slice_start)
+        assert message.visible_at >= now
+        if min_exec > 0:
+            assert message.visible_at >= slice_start + min_exec
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=20))
+    def test_fifo_delivery_order(self, values):
+        table = EndpointTable(padded_ipc=False)
+        endpoint = table.create("e")
+        for time, value in enumerate(values):
+            table.enqueue(endpoint, value, "Hi", now=time, sender_slice_start=0)
+        received = []
+        while True:
+            value = table.try_receive(endpoint.endpoint_id, now=10_000)
+            if value is None:
+                break
+            received.append(value)
+        assert received == values
+
+
+class TestNonInterferenceProperty:
+    """The headline metamorphic property: under full time protection,
+    Lo's world is a constant function of Hi's secret."""
+
+    @given(st.integers(min_value=0, max_value=63))
+    @settings(max_examples=8, deadline=None)
+    def test_lo_trace_invariant_under_secret(self, secret):
+        reference = build_two_domain_system(
+            0, TimeProtectionConfig.full(), observer_iterations=60,
+            max_cycles=250_000,
+        )
+        variant = build_two_domain_system(
+            secret, TimeProtectionConfig.full(), observer_iterations=60,
+            max_cycles=250_000,
+        )
+        assert reference.observation_trace("Lo") == variant.observation_trace("Lo")
+
+    @given(st.integers(min_value=1, max_value=63))
+    @settings(max_examples=6, deadline=None)
+    def test_switch_records_invariant_under_secret(self, secret):
+        def switch_view(kernel):
+            return [
+                (r.from_domain, r.to_domain, r.scheduled_at, r.released_at)
+                for r in kernel.switch_records
+            ]
+
+        reference = build_two_domain_system(
+            0, TimeProtectionConfig.full(), observer_iterations=60,
+            max_cycles=250_000,
+        )
+        variant = build_two_domain_system(
+            secret, TimeProtectionConfig.full(), observer_iterations=60,
+            max_cycles=250_000,
+        )
+        assert switch_view(reference) == switch_view(variant)
