@@ -17,6 +17,7 @@ from .capacity import (
 )
 from .channel_matrix import ChannelMatrix, decode_accuracy, from_samples
 from .discretise import bin_observations, bin_vectors
+from .summary import capacity_matrix, format_matrix, pivot_records
 
 __all__ = [
     "BandwidthEstimate",
@@ -26,11 +27,14 @@ __all__ = [
     "blahut_arimoto",
     "bsc_capacity",
     "capacity_bits",
+    "capacity_matrix",
     "decode_accuracy",
     "effective_bit_rate",
     "estimator_bias_bits",
+    "format_matrix",
     "from_samples",
     "min_leakage",
     "mutual_information",
+    "pivot_records",
     "zero_leakage",
 ]

@@ -1,0 +1,117 @@
+"""Pivot campaign result stores into paper-style summary matrices.
+
+The paper's evaluation tables are (configuration × mechanism) grids of
+channel capacities; this module reproduces that shape from the JSONL
+records the campaign engine writes: one cell per (machine, TP config),
+aggregated over attacks and seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+_AGGREGATES: Dict[str, Callable[[List[float]], float]] = {
+    "max": max,
+    "min": min,
+    "mean": lambda values: sum(values) / len(values),
+}
+
+
+def _stat(record: Mapping[str, Any], value: str) -> Optional[float]:
+    result = record.get("result") or {}
+    stats = result.get("stats") or {}
+    raw = stats.get(value)
+    return float(raw) if raw is not None else None
+
+
+def pivot_records(
+    records: Iterable[Mapping[str, Any]],
+    rows: str = "machine",
+    cols: str = "tp",
+    value: str = "capacity_bits",
+    agg: str = "max",
+) -> Tuple[List[str], List[str], Dict[Tuple[str, str], float]]:
+    """Pivot successful trial records into a (rows × cols) matrix.
+
+    Cells aggregate over everything not pinned by the row/col labels
+    (attacks, seeds, params).  The default — worst-case ``capacity_bits``
+    per (machine, tp) — answers "is any surveyed channel still open under
+    this configuration on this machine?".
+
+    Returns ``(row_labels, col_labels, cells)``; combinations with no
+    successful record are simply absent from ``cells``.
+    """
+    if agg not in _AGGREGATES:
+        raise KeyError(f"unknown aggregate {agg!r}; choices: {sorted(_AGGREGATES)}")
+    bucket: Dict[Tuple[str, str], List[float]] = {}
+    row_labels: List[str] = []
+    col_labels: List[str] = []
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        stat = _stat(record, value)
+        if stat is None:
+            continue
+        row, col = str(record.get(rows)), str(record.get(cols))
+        if row not in row_labels:
+            row_labels.append(row)
+        if col not in col_labels:
+            col_labels.append(col)
+        bucket.setdefault((row, col), []).append(stat)
+    aggregate = _AGGREGATES[agg]
+    cells = {pair: aggregate(values) for pair, values in bucket.items()}
+    return row_labels, col_labels, cells
+
+
+def format_matrix(
+    row_labels: List[str],
+    col_labels: List[str],
+    cells: Mapping[Tuple[str, str], float],
+    title: str = "worst channel capacity (bits/symbol)",
+    closed_below: float = 1e-3,
+) -> str:
+    """Render a pivot as an aligned text table.
+
+    Closed cells (below ``closed_below``) render as ``·`` so open
+    channels stand out at a glance.
+    """
+    corner = "machine \\ tp"
+    row_width = max([len(corner)] + [len(r) for r in row_labels])
+    col_width = max([8] + [len(c) for c in col_labels]) + 2
+    lines = [f"=== {title} ==="]
+    header = f"{corner:<{row_width}}" + "".join(
+        f"{col:>{col_width}}" for col in col_labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in row_labels:
+        rendered = []
+        for col in col_labels:
+            cell = cells.get((row, col))
+            if cell is None:
+                rendered.append(f"{'-':>{col_width}}")
+            elif cell < closed_below:
+                rendered.append(f"{'·':>{col_width}}")
+            else:
+                rendered.append(f"{cell:>{col_width}.3f}")
+        lines.append(f"{row:<{row_width}}" + "".join(rendered))
+    lines.append(f"(· = closed, capacity < {closed_below:g} bits/symbol)")
+    return "\n".join(lines)
+
+
+def capacity_matrix(
+    records: Iterable[Mapping[str, Any]],
+    value: str = "capacity_bits",
+    agg: str = "max",
+    title: Optional[str] = None,
+) -> str:
+    """One-call helper: pivot records and render the capacity table."""
+    row_labels, col_labels, cells = pivot_records(
+        records, value=value, agg=agg
+    )
+    return format_matrix(
+        row_labels,
+        col_labels,
+        cells,
+        title=title or f"{agg} {value} per (machine, tp)",
+    )

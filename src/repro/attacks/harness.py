@@ -55,6 +55,42 @@ class ChannelResult:
         n = self.n_symbols()
         return 1.0 / n if n else 0.0
 
+    def stats(self) -> dict:
+        """All derived channel statistics as one plain dict.
+
+        Plain data only (floats/ints), so the result pickles across
+        process boundaries and serialises to JSON — this is what the
+        campaign subsystem stores per trial.
+        """
+        return {
+            "capacity_bits": self.capacity_bits(),
+            "mutual_information_bits": self.mutual_information_bits(),
+            "min_leakage_bits": self.min_leakage_bits(),
+            "decode_accuracy": self.decode_accuracy(),
+            "chance_accuracy": self.chance_accuracy(),
+            "n_symbols": self.n_symbols(),
+            "n_samples": len(self.samples),
+            "symbol_period_cycles": self.symbol_period_cycles,
+        }
+
+    def to_record(self, include_samples: bool = False) -> dict:
+        """A JSON-ready record of this measurement.
+
+        Samples are omitted by default (they dominate the size and the
+        derived statistics already summarise them); pass
+        ``include_samples=True`` to keep the raw (symbol, observation)
+        pairs.
+        """
+        record = {
+            "name": self.name,
+            "tp_label": self.tp_label,
+            "stats": self.stats(),
+            "metadata": dict(self.metadata),
+        }
+        if include_samples:
+            record["samples"] = [list(sample) for sample in self.samples]
+        return record
+
     def summary(self) -> str:
         return (
             f"{self.name} [{self.tp_label}]: "

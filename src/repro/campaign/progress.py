@@ -1,0 +1,74 @@
+"""Campaign progress reporting: throughput and ETA.
+
+Deliberately dependency-free (no tqdm in the container): one log line
+per completed trial on the chosen stream, plus a final summary.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    hours, rem = divmod(seconds, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{hours:d}:{minutes:02d}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Logs per-trial completions with running throughput and ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "campaign",
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+    ):
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.done = 0
+        self.failed = 0
+        self.skipped = 0
+        self._started = time.monotonic()
+
+    def _emit(self, message: str) -> None:
+        if self.enabled:
+            print(f"[{self.label}] {message}", file=self.stream, flush=True)
+
+    def start(self, n_workers: int, n_skipped: int) -> None:
+        self.skipped = n_skipped
+        self._started = time.monotonic()
+        self._emit(
+            f"{self.total} trial(s) to run on {n_workers} worker(s)"
+            + (f", {n_skipped} already complete (resumed)" if n_skipped else "")
+        )
+
+    def update(self, record: Dict[str, Any]) -> None:
+        self.done += 1
+        if record.get("status") != "ok":
+            self.failed += 1
+        elapsed = time.monotonic() - self._started
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        remaining = self.total - self.done
+        eta = remaining / rate if rate > 0 else 0.0
+        self._emit(
+            f"{self.done}/{self.total} {record.get('status', '?'):6s} "
+            f"{record.get('key', '?')} "
+            f"({record.get('wall_time_s', 0):.2f}s, "
+            f"{rate * 60:.1f} trials/min, ETA {_format_eta(eta)})"
+        )
+
+    def finish(self) -> str:
+        elapsed = time.monotonic() - self._started
+        summary = (
+            f"{self.done} executed ({self.failed} failed), "
+            f"{self.skipped} resumed, {elapsed:.1f}s wall"
+        )
+        self._emit(f"done: {summary}")
+        return summary

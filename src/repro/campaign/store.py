@@ -1,0 +1,101 @@
+"""Append-only JSONL result store with resume support.
+
+One line per completed trial.  Appending is crash-safe in the useful
+sense: a record is either fully on disk or absent, and a torn final line
+(worker killed mid-write) is detected and ignored on load, so a resumed
+campaign simply re-runs that trial.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+# Fields that vary between identical re-runs of the same trial (timing,
+# which worker picked it up, when).  Everything else in a record is a
+# pure function of the trial spec.
+VOLATILE_FIELDS = ("wall_time_s", "worker", "attempts", "campaign")
+
+
+def deterministic_view(record: Dict[str, Any]) -> Dict[str, Any]:
+    """The record minus run-dependent bookkeeping — equal across re-runs."""
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in VOLATILE_FIELDS
+    }
+
+
+class ResultStore:
+    """JSONL-backed store keyed by trial key.
+
+    The store is the resume mechanism: ``completed_keys()`` names every
+    trial that already has a successful record, and the executor skips
+    those on re-run.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        if "key" not in record:
+            raise ValueError("result records must carry a 'key' field")
+        line = json.dumps(record, sort_keys=True, default=str)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- reading ----------------------------------------------------------
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail from an interrupted write: drop it; the
+                    # trial will simply be re-run on resume.
+                    continue
+                if isinstance(record, dict) and "key" in record:
+                    yield record
+
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self.iter_records())
+
+    def completed_keys(self) -> Set[str]:
+        """Keys with a successful record (these are skipped on resume)."""
+        return {
+            record["key"]
+            for record in self.iter_records()
+            if record.get("status") == STATUS_OK
+        }
+
+    def latest_by_key(
+        self, status: Optional[str] = STATUS_OK
+    ) -> Dict[str, Dict[str, Any]]:
+        """Last record per key, optionally filtered by status."""
+        latest: Dict[str, Dict[str, Any]] = {}
+        for record in self.iter_records():
+            if status is None or record.get("status") == status:
+                latest[record["key"]] = record
+        return latest
+
+    def __len__(self) -> int:
+        return sum(1 for _record in self.iter_records())
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.path!r})"

@@ -1,52 +1,37 @@
-"""Command-line interface: prove, survey channels, inspect machines.
+"""Command-line interface: prove, survey channels, inspect, campaigns.
 
-Three subcommands::
+Four subcommands::
 
     repro-tp prove    [--machine M] [--tp T] [--secrets 1,7,23]
     repro-tp channels [--machine M] [--tp T] [--only e2,e4]
     repro-tp inspect  [--machine M]
+    repro-tp campaign [--machines M1,M2] [--tps T1,T2] [--attacks A1,A2]
+                      [--seeds 0,1] [--workers N] [--store results.jsonl]
 
 ``prove`` runs the full Sect. 5 argument (obligations, case split,
 unwinding, two-run noninterference) on a standard two-domain system and
 prints the report.  ``channels`` measures the attack suite under the
 chosen configuration.  ``inspect`` extracts and prints the abstract
-hardware model (Sect. 5.1) of a machine.
+hardware model (Sect. 5.1) of a machine.  ``campaign`` fans a whole
+(machine × tp × attack × seed) grid out over a worker pool, appends one
+JSONL record per trial, resumes past completed trials on re-run, and
+prints the (machine × tp) channel-capacity matrix.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import List
 
+from .campaign.registry import MACHINES, TP_CONFIGS
 from .core import (
     AbstractHardwareModel,
     format_report,
     prove_time_protection,
 )
-from .hardware import Access, Compute, Halt, ReadTime, Syscall, presets
+from .hardware import Access, Compute, Halt, ReadTime, Syscall
 from .kernel import Kernel, TimeProtectionConfig
-
-MACHINES: Dict[str, Callable] = {
-    "tiny": presets.tiny_machine,
-    "tiny2": lambda: presets.tiny_machine(n_cores=2),
-    "desktop": presets.desktop_machine,
-    "smt": presets.tiny_smt_machine,
-    "unflushable": presets.tiny_unflushable_machine,
-    "broken-flush": presets.tiny_broken_flush_machine,
-    "nocolour": lambda: presets.tiny_nocolour_machine(n_cores=1),
-    "contended": presets.contended_machine,
-}
-
-TP_CONFIGS: Dict[str, Callable[[], TimeProtectionConfig]] = {
-    "full": TimeProtectionConfig.full,
-    "none": TimeProtectionConfig.none,
-    "way": TimeProtectionConfig.full_with_way_partitioning,
-    "no-pad": lambda: TimeProtectionConfig.full().without(pad_switch=False),
-    "no-flush": lambda: TimeProtectionConfig.full().without(flush_on_switch=False),
-    "no-clone": lambda: TimeProtectionConfig.full().without(kernel_clone=False),
-    "no-colour": lambda: TimeProtectionConfig.full().without(cache_colouring=False),
-}
 
 
 def _hi_program(ctx):
@@ -175,6 +160,58 @@ def cmd_inspect(args) -> int:
     return 0 if model.conforms_to_aisa() else 1
 
 
+def cmd_campaign(args) -> int:
+    from .analysis.summary import capacity_matrix
+    from .campaign import (
+        CampaignSpec,
+        ResultStore,
+        default_workers,
+        run_campaign,
+    )
+    from .campaign.registry import ATTACKS
+
+    if args.spec:
+        try:
+            spec = CampaignSpec.from_json_file(args.spec)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot load campaign spec {args.spec!r}: {error}",
+                  file=sys.stderr)
+            return 2
+    else:
+        spec = CampaignSpec(
+            machines=tuple(m.strip() for m in args.machines.split(",") if m.strip()),
+            tps=tuple(t.strip() for t in args.tps.split(",") if t.strip()),
+            attacks=tuple(a.strip() for a in args.attacks.split(",") if a.strip()),
+            seeds=tuple(int(s) for s in args.seeds.split(",") if s.strip()),
+        )
+    try:
+        trials = spec.trials()
+    except KeyError as error:
+        print(f"invalid campaign spec: {error}", file=sys.stderr)
+        print(f"known attacks: {sorted(ATTACKS)}", file=sys.stderr)
+        return 2
+    if not trials:
+        print("campaign spec expands to zero trials", file=sys.stderr)
+        return 2
+
+    store = ResultStore(args.store)
+    report = run_campaign(
+        spec,
+        store,
+        n_workers=args.workers if args.workers > 0 else default_workers(),
+        timeout_s=args.timeout,
+        max_retries=args.retries,
+        resume=not args.fresh,
+        quiet=args.quiet,
+    )
+    print(f"campaign {spec.name!r}: {report.summary()}")
+    print(f"store: {store.path} ({len(store)} record(s))")
+    if not args.no_summary:
+        print()
+        print(capacity_matrix(store.records()))
+    return 0 if report.all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tp",
@@ -202,6 +239,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("--machine", choices=sorted(MACHINES), default="tiny")
     inspect.set_defaults(func=cmd_inspect)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a (machine x tp x attack x seed) grid over a worker pool",
+    )
+    campaign.add_argument(
+        "--spec", default="",
+        help="JSON campaign spec file (overrides the grid flags)",
+    )
+    campaign.add_argument("--machines", default="tiny",
+                          help="comma-separated machine presets")
+    campaign.add_argument("--tps", default="full,none",
+                          help="comma-separated TP configs")
+    campaign.add_argument("--attacks", default="e5,occupancy",
+                          help="comma-separated attack names")
+    campaign.add_argument("--seeds", default="0",
+                          help="comma-separated integer seeds")
+    campaign.add_argument("--workers", type=int, default=0,
+                          help="worker processes (0 = one per available CPU)")
+    campaign.add_argument("--store", default="campaign_results.jsonl",
+                          help="JSONL result store path (resume target)")
+    campaign.add_argument("--timeout", type=float, default=0.0,
+                          help="per-trial wall-clock budget in seconds (0 = off)")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="retry attempts per failed trial")
+    campaign.add_argument("--fresh", action="store_true",
+                          help="ignore existing records (disable resume)")
+    campaign.add_argument("--no-summary", action="store_true",
+                          help="skip the capacity-matrix summary table")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress per-trial progress lines")
+    campaign.set_defaults(func=cmd_campaign)
     return parser
 
 

@@ -1,8 +1,12 @@
 """Tests for the branch-predictor training channel."""
 
+import pytest
+
 from repro.attacks import branch_channel
 from repro.hardware import presets
 from repro.kernel import TimeProtectionConfig
+
+pytestmark = pytest.mark.slow
 
 
 class TestBranchChannel:

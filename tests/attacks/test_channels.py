@@ -29,6 +29,7 @@ def two_core():
     return presets.tiny_machine(n_cores=2)
 
 
+@pytest.mark.slow
 class TestPrimeProbeL1:
     # Low-numbered sets overlap the spy's own deterministic kernel-data
     # pollution, so the fast tests use upper-half sets; the full-range
@@ -56,6 +57,7 @@ class TestPrimeProbeL1:
         assert result.capacity_bits() < CLOSED_BITS
 
 
+@pytest.mark.slow
 class TestPrimeProbeLlc:
     def test_open_without_colouring(self):
         result = primeprobe.llc_experiment(

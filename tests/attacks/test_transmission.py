@@ -105,6 +105,7 @@ class TestBandwidthReporting:
         assert "RECOVERED" in result.summary()
 
 
+@pytest.mark.slow
 class TestEndToEndOverRealChannel:
     def test_byte_over_l1_primeprobe(self):
         """A real end-to-end transmission over the L1 channel."""

@@ -64,6 +64,7 @@ class TestChannels:
         out = capsys.readouterr().out
         assert "all surveyed channels closed" in out
 
+    @pytest.mark.slow
     def test_survey_reports_leaks_without_protection(self, capsys):
         # E5 specifically needs flushing on (its channel is the flush
         # latency); the occupancy channel leaks under a fully bare kernel.

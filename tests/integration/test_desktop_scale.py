@@ -6,6 +6,8 @@ tests re-establish the core results there, confirming nothing about the
 tiny machine's geometry was load-bearing.
 """
 
+import pytest
+
 from repro.core import (
     AbstractHardwareModel,
     check_all,
@@ -15,6 +17,8 @@ from repro.hardware import presets
 from repro.kernel import TimeProtectionConfig
 
 from tests.conftest import build_two_domain_system
+
+pytestmark = pytest.mark.slow
 
 
 def build(secret, tp=TimeProtectionConfig.full()):
