@@ -1,12 +1,13 @@
-"""Command-line interface: prove, survey channels, inspect, campaigns.
+"""Command-line interface: prove, survey channels, inspect, campaigns, lint.
 
-Four subcommands::
+Five subcommands::
 
     repro-tp prove    [--machine M] [--tp T] [--secrets 1,7,23]
     repro-tp channels [--machine M] [--tp T] [--only e2,e4]
     repro-tp inspect  [--machine M]
     repro-tp campaign [--machines M1,M2] [--tps T1,T2] [--attacks A1,A2]
                       [--seeds 0,1] [--workers N] [--store results.jsonl]
+    repro-tp lint     [paths ...] [--format text|json] [--baseline FILE]
 
 ``prove`` runs the full Sect. 5 argument (obligations, case split,
 unwinding, two-run noninterference) on a standard two-domain system and
@@ -15,7 +16,9 @@ chosen configuration.  ``inspect`` extracts and prints the abstract
 hardware model (Sect. 5.1) of a machine.  ``campaign`` fans a whole
 (machine × tp × attack × seed) grid out over a worker pool, appends one
 JSONL record per trial, resumes past completed trials on re-run, and
-prints the (machine × tp) channel-capacity matrix.
+prints the (machine × tp) channel-capacity matrix.  ``lint`` runs the
+static conformance analyzer (``repro.statcheck``) over the source tree:
+exit 0 clean, 1 findings, 2 internal/configuration error.
 """
 
 from __future__ import annotations
@@ -212,6 +215,28 @@ def cmd_campaign(args) -> int:
     return 0 if report.all_ok else 1
 
 
+def cmd_lint(args) -> int:
+    from .statcheck import (
+        BaselineError,
+        StatcheckError,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    try:
+        report = run_lint(
+            paths=args.paths or ["src/repro"],
+            baseline_path=args.baseline or None,
+        )
+    except (BaselineError, StatcheckError, SyntaxError) as error:
+        print(f"lint error: {error}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(report))
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tp",
@@ -271,6 +296,21 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-trial progress lines")
     campaign.set_defaults(func=cmd_campaign)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the static conformance analyzer (SC-1/SC-2/SC-3)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--baseline", default="",
+        help="suppression file (default: discover statcheck.baseline.json)",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -1,17 +1,49 @@
-"""Human-readable rendering of proof reports."""
+"""Human-readable rendering of proof and conformance reports.
+
+The obligation-list helpers are shared between the runtime proof report
+and the static conformance report (``repro.statcheck``), so both read
+the same way: a banner, ``XX-n [PASS|FAIL] title`` lines, indented
+counterexamples.
+"""
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 from .proof import ProofReport
+
+_RULE = "=" * 72
+
+
+def banner(title: str) -> str:
+    return "\n".join([_RULE, title, _RULE])
+
+
+def indent_block(item: object, indent: str = "  ") -> str:
+    """Render ``item`` (via ``str``) indented one level, multi-line safe."""
+    return indent + str(item).replace("\n", "\n" + indent)
+
+
+def format_obligation_block(
+    title: str,
+    results: Sequence[object],
+    notes: Iterable[str] = (),
+) -> str:
+    """A banner, one indented entry per obligation result, then notes."""
+    lines = [banner(title)]
+    for result in results:
+        lines.append(indent_block(result))
+    for note in notes:
+        lines.append(f"  ! {note}")
+    lines.append(_RULE)
+    return "\n".join(lines)
 
 
 def format_report(report: ProofReport, verbose: bool = False) -> str:
     """Render a :class:`ProofReport` as a plain-text document."""
     lines = []
     verdict = "THEOREM HOLDS" if report.holds else "THEOREM FAILS"
-    lines.append("=" * 72)
-    lines.append("TIME PROTECTION PROOF REPORT")
-    lines.append("=" * 72)
+    lines.append(banner("TIME PROTECTION PROOF REPORT"))
     lines.append(f"Theorem: {report.theorem}")
     lines.append(f"Verdict: {verdict}")
     lines.append("")
@@ -22,19 +54,19 @@ def format_report(report: ProofReport, verbose: bool = False) -> str:
     lines.append("")
     lines.append("Proof obligations:")
     for obligation in report.obligations:
-        lines.append("  " + str(obligation).replace("\n", "\n  "))
+        lines.append(indent_block(obligation))
     if report.case_split is not None:
         lines.append("")
         lines.append("Case split (Sect. 5.2):")
-        lines.append("  " + str(report.case_split).replace("\n", "\n  "))
+        lines.append(indent_block(report.case_split))
     if report.unwinding is not None:
         lines.append("")
         lines.append("Unwinding conditions:")
-        lines.append("  " + str(report.unwinding).replace("\n", "\n  "))
+        lines.append(indent_block(report.unwinding))
     lines.append("")
     lines.append("Noninterference (two-run secret swap):")
     for result in report.noninterference:
-        lines.append("  " + str(result).replace("\n", "\n  "))
+        lines.append(indent_block(result))
     lines.append("")
     lines.append("Standing assumptions:")
     for assumption in report.assumptions:
@@ -46,5 +78,5 @@ def format_report(report: ProofReport, verbose: bool = False) -> str:
         lines.append("Counterexamples:")
         for example in report.counterexamples():
             lines.append(f"  - {example}")
-    lines.append("=" * 72)
+    lines.append(_RULE)
     return "\n".join(lines)

@@ -302,6 +302,20 @@ class Cache(StateElement):
         """Tags currently resident in ``set_index`` (sorted)."""
         return tuple(sorted(line.tag for line in self._sets[set_index]))
 
+    def resident_lines(self, set_index: int) -> Tuple[Tuple[int, str], ...]:
+        """(tag, owner) pairs resident in ``set_index`` (sorted).
+
+        Audit accessor for checkers that need per-owner occupancy (e.g.
+        the switch path's way-partition fingerprints): read-only, no
+        touch recorded, so it never perturbs the footprint evidence.
+        """
+        return tuple(
+            sorted(
+                (line.tag, line.owner if line.owner is not None else "@shared")
+                for line in self._sets[set_index]
+            )
+        )
+
     # ------------------------------------------------------------------
     # StateElement protocol
     # ------------------------------------------------------------------

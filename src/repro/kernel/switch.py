@@ -149,9 +149,8 @@ class SwitchPath:
             return {}
         by_owner: Dict[str, List] = {}
         for set_index in range(llc.geometry.sets):
-            for line in llc._sets[set_index]:
-                owner = line.owner if line.owner is not None else "@shared"
-                by_owner.setdefault(owner, []).append((set_index, line.tag))
+            for tag, owner in llc.resident_lines(set_index):
+                by_owner.setdefault(owner, []).append((set_index, tag))
         return {
             owner: tuple(sorted(entries)) for owner, entries in by_owner.items()
         }

@@ -1,0 +1,47 @@
+"""Static conformance analysis for the proof substrate.
+
+The runtime proof engine (``repro.core``) argues over an abstract
+hardware model whose clock is a deterministic function of *declared*
+state: every microarchitectural read in ``repro.hardware`` must flow
+through the ``touch()`` instrumentation, and the whole simulator/kernel/
+checker stack must be strictly deterministic, or the two-run secret-swap
+bisimulation proves nothing.  Nothing at runtime can notice a read that
+was never instrumented -- that is a property of the *source*, so this
+package audits the source.  Three checkers, named like the runtime proof
+obligations they statically back:
+
+SC-1  footprint completeness: in ``repro.hardware``, any function on a
+      latency-bearing path (reachable from ``Core.execute_user`` or an
+      element's ``access``/``flush`` via an intra-package call graph)
+      that reads a registered state container without ``touch()``
+      coverage is an undeclared timing dependence (static PO-1/PO-7).
+SC-2  determinism: wall-clock reads, entropy sources, unseeded global
+      RNG draws, ``id()``/``hash()`` used for ordering, and unordered
+      set iteration feeding ordering-sensitive sinks are forbidden in
+      ``repro.{hardware,kernel,core,campaign}`` (static Case-2a).
+SC-3  registry completeness: every ``StateElement`` subclass must be
+      constructed with instrumentation and visible to
+      ``Machine.all_state_elements()`` / the ``absmodel`` extraction,
+      so no element can exist in a preset yet be invisible to the
+      abstract model (static PO-1).
+
+Everything here is stdlib ``ast``; analyzed code is parsed, never
+imported.
+"""
+
+from .baseline import Baseline, BaselineError
+from .findings import CHECKERS, Finding, to_obligation_results
+from .runner import LintReport, StatcheckError, render_json, render_text, run_lint
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "CHECKERS",
+    "Finding",
+    "LintReport",
+    "StatcheckError",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "to_obligation_results",
+]

@@ -1,0 +1,89 @@
+"""Baseline (suppression) handling for the static conformance lints.
+
+A baseline entry acknowledges a finding as *intentional* -- e.g. the
+campaign layer legitimately reads the host wall clock for operational
+metadata that never feeds simulated results.  Every suppression must
+carry a non-empty justification: an unexplained suppression is exactly
+the "unverified assumption" this layer exists to eliminate, so it is a
+configuration error (exit code 2), not a warning.
+
+Keys are line-number-free -- ``checker:module:qualname:rule``, with
+``*`` allowed in the qualname position -- so baselines survive
+unrelated edits to the flagged file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+
+class BaselineError(Exception):
+    """Malformed baseline file: the runner maps this to exit code 2."""
+
+
+class Baseline:
+    def __init__(self, suppressions: Dict[str, str], path: str = ""):
+        self.suppressions = suppressions
+        self.path = path
+        self._used: set = set()
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({}, path="")
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise BaselineError(f"cannot read baseline {path}: {error}")
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"baseline {path} is not valid JSON: {error}")
+        if not isinstance(raw, dict) or not isinstance(
+            raw.get("suppressions", []), list
+        ):
+            raise BaselineError(
+                f"baseline {path} must be an object with a 'suppressions' list"
+            )
+        suppressions: Dict[str, str] = {}
+        for i, entry in enumerate(raw.get("suppressions", [])):
+            if not isinstance(entry, dict) or "key" not in entry:
+                raise BaselineError(
+                    f"baseline {path}: suppression #{i} needs a 'key'"
+                )
+            justification = str(entry.get("justification", "")).strip()
+            if not justification:
+                raise BaselineError(
+                    f"baseline {path}: suppression {entry['key']!r} has no "
+                    f"justification -- every intentional finding must say why"
+                )
+            suppressions[str(entry["key"])] = justification
+        return cls(suppressions, path=str(path))
+
+    def matches(self, finding: Finding) -> bool:
+        exact = finding.suppression_key
+        wildcard = (
+            f"{finding.checker}:{finding.module}:*:{finding.rule}"
+        )
+        for key in (exact, wildcard):
+            if key in self.suppressions:
+                self._used.add(key)
+                return True
+        return False
+
+    def apply(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (kept, suppressed)."""
+        kept, suppressed = [], []
+        for finding in findings:
+            (suppressed if self.matches(finding) else kept).append(finding)
+        return kept, suppressed
+
+    def stale_keys(self) -> List[str]:
+        """Suppressions that matched nothing (candidates for removal)."""
+        return sorted(set(self.suppressions) - self._used)

@@ -1,0 +1,88 @@
+"""A lightweight intra-package call graph over the analyzed universe.
+
+Python has no static dispatch, so edges are heuristic and deliberately
+*over*-approximate reachability: a method call ``x.access(...)`` links
+to every in-universe method named ``access``.  Over-approximation is
+the sound direction for SC-1 -- it can only put extra functions on the
+latency path, never hide one.  To keep the graph from drowning in
+spurious edges, calls whose attribute name is a builtin container/str
+method (``.get``, ``.append``, ``.items``, ...) are never resolved.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from .universe import ClassInfo, FunctionInfo, Universe
+
+FuncKey = Tuple[str, str]  # (module, qualname)
+
+#: Attribute names that are (almost always) builtin container / str /
+#: stdlib-object methods, never user code worth an edge.
+_BUILTIN_METHOD_NAMES = frozenset({
+    # list / dict / set
+    "append", "extend", "insert", "remove", "pop", "clear", "index",
+    "count", "sort", "reverse", "copy", "get", "items", "keys", "values",
+    "setdefault", "update", "popitem", "fromkeys", "add", "discard",
+    "union", "intersection", "difference", "symmetric_difference",
+    "issubset", "issuperset", "isdisjoint",
+    # str / bytes
+    "split", "rsplit", "join", "strip", "lstrip", "rstrip", "startswith",
+    "endswith", "format", "replace", "lower", "upper", "encode", "decode",
+    "partition", "rpartition", "ljust", "rjust", "zfill", "find", "rfind",
+    "title", "capitalize", "casefold", "splitlines",
+    # int / misc
+    "bit_length", "to_bytes", "from_bytes",
+})
+
+
+def _owning_class(universe: Universe, func: FunctionInfo) -> ClassInfo:
+    for cls in universe.classes_by_name.get(func.class_name or "", []):
+        if cls.module == func.module:
+            return cls
+    # Fall back to any same-named class (fixture trees).
+    classes = universe.classes_by_name.get(func.class_name or "", [])
+    return classes[0] if classes else None
+
+
+def _resolve_call(
+    universe: Universe, func: FunctionInfo, call: ast.Call
+) -> List[FunctionInfo]:
+    target = call.func
+    if isinstance(target, ast.Name):
+        name = target.id
+        # Constructor call -> the class's __init__ (if any).
+        for cls in universe.classes_by_name.get(name, []):
+            init = cls.methods.get("__init__")
+            return [init] if init else []
+        return universe.module_functions_by_name.get(name, [])
+    if isinstance(target, ast.Attribute):
+        attr = target.attr
+        if attr in _BUILTIN_METHOD_NAMES:
+            return []
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            # self.m(): resolve within the owning class hierarchy only.
+            cls = _owning_class(universe, func)
+            if cls is not None:
+                for ancestor in universe.class_ancestry(cls):
+                    if attr in ancestor.methods:
+                        return [ancestor.methods[attr]]
+            return []
+        # x.m(): every in-universe method named m.
+        return universe.methods_by_name.get(attr, [])
+    return []
+
+
+def build_call_graph(universe: Universe) -> Dict[FuncKey, Set[FuncKey]]:
+    """Callee edges for every function in the universe."""
+    graph: Dict[FuncKey, Set[FuncKey]] = {}
+    for func in universe.functions.values():
+        edges: Set[FuncKey] = set()
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                for callee in _resolve_call(universe, func, node):
+                    if callee.key != func.key:
+                        edges.add(callee.key)
+        graph[func.key] = edges
+    return graph

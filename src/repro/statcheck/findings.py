@@ -1,0 +1,97 @@
+"""The findings model: one dataclass, rendered like proof obligations.
+
+A finding is a *static counterexample*: a ``file:line`` witness that one
+of the source-level conformance properties fails.  Findings group into
+:class:`repro.core.obligations.ObligationResult` records so the lint
+report reads like the runtime proof report it backs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..core.obligations import ObligationResult
+
+#: Checker id -> title, in report order.  The titles deliberately echo
+#: the runtime obligations each checker statically approximates.
+CHECKERS: Dict[str, str] = {
+    "SC-1": "every latency-path state read is touch()-instrumented "
+            "(static PO-1/PO-7)",
+    "SC-2": "simulator/kernel/checker stack is strictly deterministic "
+            "(static Case 2a)",
+    "SC-3": "every StateElement is registered and visible to the "
+            "abstract model (static PO-1)",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static counterexample.
+
+    ``qualname`` is the enclosing function (``Class.method`` form) or
+    ``<module>`` for module-level code; together with the dotted module
+    name and the rule it forms the line-number-free suppression key, so
+    baselines survive unrelated edits to the flagged file.
+    """
+
+    checker: str   # "SC-1" | "SC-2" | "SC-3"
+    rule: str      # e.g. "undeclared-read", "wall-clock"
+    path: str      # file path as given to the runner
+    lineno: int
+    module: str    # dotted module name, e.g. "repro.hardware.cache"
+    qualname: str  # "Cache.access", "run_trial", or "<module>"
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.lineno}"
+
+    @property
+    def suppression_key(self) -> str:
+        return f"{self.checker}:{self.module}:{self.qualname}:{self.rule}"
+
+    def render(self) -> str:
+        return (
+            f"{self.location}: [{self.checker}:{self.rule}] "
+            f"{self.qualname}: {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "checker": self.checker,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.lineno,
+            "module": self.module,
+            "qualname": self.qualname,
+            "message": self.message,
+            "key": self.suppression_key,
+        }
+
+
+def to_obligation_results(
+    findings: Iterable[Finding], checkers_run: Iterable[str]
+) -> List[ObligationResult]:
+    """Group findings per checker into obligation-style results.
+
+    Checkers that ran and found nothing yield a PASS entry, so a clean
+    report still states what was checked.
+    """
+    by_checker: Dict[str, List[Finding]] = {c: [] for c in checkers_run}
+    for finding in findings:
+        by_checker.setdefault(finding.checker, []).append(finding)
+    results = []
+    for checker in sorted(by_checker):
+        hits = sorted(by_checker[checker], key=lambda f: (f.path, f.lineno))
+        results.append(
+            ObligationResult(
+                obligation_id=checker,
+                title=CHECKERS.get(checker, checker),
+                passed=not hits,
+                violations=[
+                    f"{f.location}: {f.message} [{f.rule}]" for f in hits
+                ],
+            )
+        )
+    return results

@@ -1,0 +1,207 @@
+"""SC-1: every latency-path state read must be ``touch()``-covered.
+
+The paper's core reduction (Sect. 5.1) treats instruction latency as a
+deterministic function of *declared* microarchitectural state; the
+runtime obligations (PO-1/PO-7) audit the declarations recorded by the
+``touch()`` instrumentation.  A read of an element's state container on
+a latency-bearing path that never flows through ``touch()`` is invisible
+to that audit -- a hole no runtime check can see.  This checker closes
+the gap statically:
+
+R1 (``undeclared-read``): starting from the latency roots (element
+   ``access``/``flush`` methods plus ``execute_user``/``execute``/
+   ``step`` methods of classes in scope), walk the call graph tracking
+   *coverage*: a function's container reads are covered if its own body
+   touches, or an instrumented ancestor on the path does (helpers called
+   from an instrumented entry point inherit its declaration -- e.g.
+   ``Cache._fill_victim`` under ``Cache.access``).  ``flush`` methods
+   are covered by protocol: their latency is declared wholesale via
+   ``FlushResult`` and audited dynamically by PO-3/PO-5.  Audit-only
+   accessors (``probe``, ``resident_tags``, ``fingerprint``...) are not
+   reachable from the roots and are deliberately exempt.
+
+R2 (``raw-state-access``): outside the element's own methods, reading a
+   private state container directly (``llc._sets``) bypasses the
+   instrumentation boundary entirely, wherever it happens -- flagged in
+   any module in scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import FuncKey, build_call_graph
+from .findings import Finding
+from .universe import FunctionInfo, Universe
+
+#: Method names that open a latency-bearing path on any class in scope.
+ROOT_METHOD_NAMES = frozenset({"execute_user", "execute", "step"})
+#: Element methods that are themselves latency roots.
+ELEMENT_ROOT_METHODS = frozenset({"access", "flush"})
+
+
+def _container_reads(
+    func: FunctionInfo, containers: Set[str]
+) -> List[Tuple[str, int]]:
+    """``self.X`` loads in ``func`` where X is a registered container."""
+    reads = []
+    seen: Set[str] = set()
+    for node in ast.walk(func.node):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in containers
+                and node.attr not in seen):
+            seen.add(node.attr)
+            reads.append((node.attr, node.lineno))
+    return reads
+
+
+def _element_context(
+    universe: Universe,
+) -> Tuple[Dict[str, Set[str]], Set[str]]:
+    """Per-class container names (with inherited) and element class names."""
+    element_classes = universe.element_classes()
+    element_names = {cls.name for cls in element_classes}
+    containers_by_class: Dict[str, Set[str]] = {}
+    for cls in element_classes:
+        names: Set[str] = set()
+        for ancestor in universe.class_ancestry(cls):
+            names.update(ancestor.containers)
+        containers_by_class[cls.name] = names
+    return containers_by_class, element_names
+
+
+def _roots(
+    universe: Universe, scope_modules: Set[str], element_names: Set[str]
+) -> List[FunctionInfo]:
+    roots = []
+    for func in universe.functions.values():
+        if func.module not in scope_modules or func.class_name is None:
+            continue
+        if func.name in ROOT_METHOD_NAMES:
+            roots.append(func)
+        elif (func.name in ELEMENT_ROOT_METHODS
+              and func.class_name in element_names):
+            roots.append(func)
+    return roots
+
+
+def _is_protocol_covered(func: FunctionInfo, element_names: Set[str]) -> bool:
+    """Element ``flush()``: latency declared wholesale via FlushResult."""
+    return func.name == "flush" and func.class_name in element_names
+
+
+def check_footprint(
+    universe: Universe,
+    scope_modules: Set[str],
+    raw_access_modules: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run SC-1 over ``scope_modules`` (dotted module names).
+
+    ``raw_access_modules`` widens only the R2 raw-read rule (the kernel
+    and checkers must also not reach into element internals).
+    """
+    containers_by_class, element_names = _element_context(universe)
+    findings: List[Finding] = []
+
+    # -- R1: uncovered reads on latency-bearing paths ----------------------
+    graph = build_call_graph(universe)
+    roots = _roots(universe, scope_modules, element_names)
+    flagged: Set[Tuple[FuncKey, str]] = set()
+    visited: Set[Tuple[FuncKey, bool]] = set()
+    queue: deque = deque()
+    for root in roots:
+        queue.append((root.key, False, root.qualname))
+    while queue:
+        key, covered_in, root_name = queue.popleft()
+        func = universe.functions.get(key)
+        if func is None:
+            continue
+        covered = (covered_in or func.touches
+                   or _is_protocol_covered(func, element_names))
+        if (key, covered) in visited:
+            continue
+        visited.add((key, covered))
+        if not covered and func.class_name in containers_by_class:
+            for attr, lineno in _container_reads(
+                func, containers_by_class[func.class_name]
+            ):
+                if (key, attr) in flagged:
+                    continue
+                flagged.add((key, attr))
+                findings.append(Finding(
+                    checker="SC-1",
+                    rule="undeclared-read",
+                    path=func.path,
+                    lineno=lineno,
+                    module=func.module,
+                    qualname=func.qualname,
+                    message=(
+                        f"reads state container 'self.{attr}' on a "
+                        f"latency-bearing path (reached from {root_name}) "
+                        f"with no touch() coverage: this timing dependence "
+                        f"is invisible to PO-1/PO-7 evidence"
+                    ),
+                ))
+        for callee in graph.get(key, ()):
+            if (callee, covered) not in visited:
+                queue.append((callee, covered, root_name))
+
+    # -- R2: raw private-container reads from outside the element ----------
+    private_owners: Dict[str, List[str]] = {}
+    for cls_name, names in containers_by_class.items():
+        for attr in names:
+            if attr.startswith("_"):
+                private_owners.setdefault(attr, []).append(cls_name)
+    r2_scope = scope_modules | (raw_access_modules or set())
+    for module in universe.modules:
+        if module.modname not in r2_scope:
+            continue
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.attr in private_owners):
+                continue
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                continue  # the element's own methods: R1 territory
+            owners = "/".join(sorted(private_owners[node.attr]))
+            findings.append(Finding(
+                checker="SC-1",
+                rule="raw-state-access",
+                path=module.path,
+                lineno=node.lineno,
+                module=module.modname,
+                qualname=_enclosing_qualname(module.tree, node),
+                message=(
+                    f"raw read of private state container "
+                    f"'{node.attr}' (owned by {owners}) bypasses the "
+                    f"touch() instrumentation boundary; use a public "
+                    f"audit accessor"
+                ),
+            ))
+    return findings
+
+
+def _enclosing_qualname(tree: ast.Module, target: ast.AST) -> str:
+    """Qualname of the innermost function/class containing ``target``."""
+    path: List[str] = []
+
+    def visit(node: ast.AST, names: List[str]) -> bool:
+        for child in ast.iter_child_nodes(node):
+            child_names = names
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                child_names = names + [child.name]
+            if child is target:
+                path.extend(child_names)
+                return True
+            if visit(child, child_names):
+                return True
+        return False
+
+    visit(tree, [])
+    return ".".join(path) if path else "<module>"

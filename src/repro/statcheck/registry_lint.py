@@ -1,0 +1,255 @@
+"""SC-3: every ``StateElement`` must be registered and extractable.
+
+PO-1 (complete management) is checked at runtime over whatever
+``Machine.all_state_elements()`` returns -- so an element that a machine
+*constructs* but never *enumerates* is silently outside the proof: it
+accumulates history, is never flushed or partitioned, and PO-1 still
+passes.  This checker closes that loophole statically:
+
+``uninstrumented-construction``  a ``StateElement`` subclass constructed
+    without an ``instrumentation=`` argument records no touches at all.
+``unregistered-element``  a ``StateElement`` subclass that no machine
+    module ever constructs -- dead state the presets cannot exercise.
+``unenumerated-element``  an element bound in a machine's ``__init__``
+    (``self.llc = Cache(...)``, or a ``dict(l1i=..., ...)`` handed to a
+    core) whose binding name never appears in ``all_state_elements()``
+    or a provider method it calls (``Core.private_elements``).
+``blind-extraction``  the abstract-model extraction
+    (``AbstractHardwareModel.from_machine``) does not call
+    ``machine.all_state_elements()`` -- the static side of "the proof
+    examines the hardware it actually got".
+
+The checker is structural (it keys on a base class *named*
+``StateElement`` and classes defining ``all_state_elements``), so
+fixture trees exercise it without importing ``repro.hardware``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .universe import ClassInfo, Universe
+
+
+def _call_class_name(node: ast.Call) -> Optional[str]:
+    """Class name for ``Cache(...)`` or ``cache.Cache(...)`` calls."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _has_instrumentation_kwarg(node: ast.Call) -> bool:
+    for kw in node.keywords:
+        if kw.arg == "instrumentation" or kw.arg is None:  # **kwargs
+            return True
+    return False
+
+
+def _element_factory_methods(
+    cls: ClassInfo, element_names: Set[str]
+) -> Set[str]:
+    """Methods of ``cls`` that return a StateElement construction."""
+    factories = set()
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            if (isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Call)
+                    and _call_class_name(node.value) in element_names):
+                factories.add(method.name)
+                break
+    return factories
+
+
+def _is_element_construction(
+    node: ast.expr, element_names: Set[str], factories: Set[str]
+) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    if _call_class_name(node) in element_names:
+        return True
+    # self._build_cache(...) style factory helpers.
+    return (isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and node.func.attr in factories)
+
+
+def _bindings_in_init(
+    cls: ClassInfo, element_names: Set[str], factories: Set[str]
+) -> List[Tuple[str, int]]:
+    """(name, lineno) for every element bound during ``__init__``."""
+    init = cls.methods.get("__init__")
+    if init is None:
+        return []
+    bindings: List[Tuple[str, int]] = []
+
+    def is_element(node: ast.expr) -> bool:
+        return _is_element_construction(node, element_names, factories)
+
+    for node in ast.walk(init.node):
+        # self.X = Element(...)
+        if isinstance(node, ast.Assign) and is_element(node.value):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    bindings.append((target.attr, node.lineno))
+        # dict(l1i=Element(...), ...) and Core(..., l1i=Element(...))
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg is not None and is_element(kw.value):
+                    bindings.append((kw.arg, kw.value.lineno))
+        # {"l1i": Element(...), ...}
+        if isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and is_element(value)):
+                    bindings.append((key.value, value.lineno))
+    return bindings
+
+
+def _enumerated_names(cls: ClassInfo, universe: Universe) -> Set[str]:
+    """Attr names visible to ``all_state_elements`` (incl. providers)."""
+    enumerate_method = cls.methods.get("all_state_elements")
+    if enumerate_method is None:
+        return set()
+    names: Set[str] = set()
+    provider_methods: Set[str] = set()
+    for node in ast.walk(enumerate_method.node):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            names.add(node.attr)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            provider_methods.add(node.func.attr)
+    # A provider method (e.g. Core.private_elements) contributes the
+    # self-attributes its body mentions, on whichever class defines it.
+    for provider in provider_methods:
+        for method in universe.methods_by_name.get(provider, []):
+            for node in ast.walk(method.node):
+                if (isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"):
+                    names.add(node.attr)
+    return names
+
+
+def check_registry(
+    universe: Universe, scope_modules: Set[str]
+) -> List[Finding]:
+    element_classes = universe.element_classes()
+    element_names = {cls.name for cls in element_classes}
+    if not element_names:
+        return []
+    findings: List[Finding] = []
+    constructed: Set[str] = set()
+
+    in_scope = [m for m in universe.modules if m.modname in scope_modules]
+
+    # -- constructions: instrumentation required, coverage recorded --------
+    for module in in_scope:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_class_name(node)
+            if name not in element_names:
+                continue
+            # Ignore the class's own definition module constructing
+            # nothing: this IS a construction site.
+            constructed.add(name)
+            if not _has_instrumentation_kwarg(node):
+                findings.append(Finding(
+                    checker="SC-3",
+                    rule="uninstrumented-construction",
+                    path=module.path,
+                    lineno=node.lineno,
+                    module=module.modname,
+                    qualname=name,
+                    message=(
+                        f"{name}(...) constructed without an "
+                        f"instrumentation= argument: its touches are "
+                        f"never recorded, so PO-2/PO-7 cannot see it"
+                    ),
+                ))
+
+    # -- every element class must be constructed somewhere in scope --------
+    scope_element_classes = [
+        cls for cls in element_classes if cls.module in scope_modules
+    ]
+    for cls in scope_element_classes:
+        if cls.name not in constructed:
+            findings.append(Finding(
+                checker="SC-3",
+                rule="unregistered-element",
+                path=cls.path,
+                lineno=cls.lineno,
+                module=cls.module,
+                qualname=cls.name,
+                message=(
+                    f"StateElement subclass {cls.name} is never "
+                    f"constructed by any machine/preset in scope: no "
+                    f"preset can exercise it and no proof can see it"
+                ),
+            ))
+
+    # -- machine classes: bound elements must be enumerated ----------------
+    for module in in_scope:
+        for cls in module.classes.values():
+            if "all_state_elements" not in cls.methods:
+                continue
+            factories = _element_factory_methods(cls, element_names)
+            enumerated = _enumerated_names(cls, universe)
+            for binding, lineno in _bindings_in_init(
+                cls, element_names, factories
+            ):
+                if binding not in enumerated:
+                    findings.append(Finding(
+                        checker="SC-3",
+                        rule="unenumerated-element",
+                        path=cls.path,
+                        lineno=lineno,
+                        module=cls.module,
+                        qualname=f"{cls.name}.__init__",
+                        message=(
+                            f"element bound as {binding!r} is invisible "
+                            f"to {cls.name}.all_state_elements(): it "
+                            f"holds microarchitectural history outside "
+                            f"the abstract model (PO-1 blind spot)"
+                        ),
+                    ))
+
+    # -- the extraction must consume the enumeration -----------------------
+    findings.extend(_check_extraction(universe))
+    return findings
+
+
+def _check_extraction(universe: Universe) -> List[Finding]:
+    """``from_machine`` (where present) must call ``all_state_elements``."""
+    findings = []
+    for func in universe.methods_by_name.get("from_machine", []):
+        calls_enumeration = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "all_state_elements"
+            for node in ast.walk(func.node)
+        )
+        if not calls_enumeration:
+            findings.append(Finding(
+                checker="SC-3",
+                rule="blind-extraction",
+                path=func.path,
+                lineno=func.lineno,
+                module=func.module,
+                qualname=func.qualname,
+                message=(
+                    "abstract-model extraction does not call "
+                    "machine.all_state_elements(); the proof would not "
+                    "examine the hardware it actually got"
+                ),
+            ))
+    return findings

@@ -1,8 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
+import shutil
+from pathlib import Path
+
 import pytest
 
 from repro.cli import MACHINES, TP_CONFIGS, build_parser, main
+
+REPO = Path(__file__).resolve().parents[2]
 
 
 class TestParser:
@@ -75,3 +81,83 @@ class TestChannels:
 
     def test_unknown_experiment_rejected(self, capsys):
         assert main(["channels", "--only", "bogus"]) == 2
+
+
+class TestLint:
+    """Exit-code contract: 0 clean, 1 findings, 2 internal error."""
+
+    def test_shipped_tree_exits_zero(self, capsys):
+        code = main([
+            "lint", str(REPO / "src" / "repro"),
+            "--baseline", str(REPO / "statcheck.baseline.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "STATIC CONFORMANCE REPORT" in out
+        assert "SC-1 [PASS]" in out
+        assert "SC-2 [PASS]" in out
+        assert "SC-3 [PASS]" in out
+
+    def test_deleted_touch_exits_one_with_location(self, tmp_path, capsys):
+        hardware = tmp_path / "hardware"
+        shutil.copytree(REPO / "src" / "repro" / "hardware", hardware)
+        cache_py = hardware / "cache.py"
+        source = cache_py.read_text()
+        needle = "                self._touch(set_index, TouchKind.EVICT)\n"
+        assert needle in source
+        cache_py.write_text(source.replace(needle, "", 1))
+        assert main(["lint", str(hardware)]) == 1
+        out = capsys.readouterr().out
+        assert "SC-1 [FAIL]" in out
+        assert "cache.py:" in out  # file:line counterexample
+
+    def test_inserted_wall_clock_exits_one_with_location(
+        self, tmp_path, capsys
+    ):
+        kernel = tmp_path / "kernel"
+        shutil.copytree(REPO / "src" / "repro" / "kernel", kernel)
+        switch_py = kernel / "switch.py"
+        needle = "        entered_at = core.clock.now\n"
+        source = switch_py.read_text()
+        assert needle in source
+        switch_py.write_text(source.replace(
+            needle, needle + "        import time; _t = time.time()\n"
+        ))
+        assert main(["lint", str(kernel)]) == 1
+        out = capsys.readouterr().out
+        assert "SC-2 [FAIL]" in out
+        assert "switch.py:" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "/no/such/tree"]) == 2
+        assert "lint error" in capsys.readouterr().err
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "lint error" in capsys.readouterr().err
+
+    def test_unjustified_suppression_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "suppressions": [{"key": "SC-2:x:*:wall-clock"}]
+        }))
+        code = main([
+            "lint", str(REPO / "src" / "repro"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 2
+        assert "justification" in capsys.readouterr().err
+
+    def test_json_format(self, capsys):
+        code = main([
+            "lint", str(REPO / "src" / "repro"), "--format", "json",
+            "--baseline", str(REPO / "statcheck.baseline.json"),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert len(payload["suppressed"]) == 8
+        assert payload["summary"] == {"SC-1": 0, "SC-2": 0, "SC-3": 0}

@@ -1,0 +1,66 @@
+"""SC-1 fixture: element classes with seeded footprint violations.
+
+Parsed by the analyzer, never imported.  ``LeakyCache.access`` reads a
+state container on a latency root without touching -- the exact bug
+SC-1 exists to catch.  ``TouchingCache`` shows every allowed pattern:
+reads under the entry point's own touch, helpers covered by an
+instrumented caller, protocol-covered ``flush``, and audit accessors
+off the latency path.
+"""
+
+
+class StateElement:
+    """Stand-in for repro.hardware.state.StateElement (matched by name)."""
+
+    def __init__(self, name, instrumentation=None):
+        self.name = name
+        self.instr = instrumentation
+
+    def _touch(self, index, kind):
+        if self.instr is not None:
+            self.instr.touch(self.name, index, kind)
+
+
+class LeakyCache(StateElement):
+    def __init__(self, name, n_sets, instrumentation=None):
+        super().__init__(name, instrumentation)
+        self._sets = [[] for _ in range(n_sets)]
+        self.n_sets = n_sets
+
+    def access(self, paddr):
+        # VIOLATION: latency depends on occupancy, but no touch records
+        # the dependence.
+        lines = self._sets[paddr % self.n_sets]
+        return 1 + len(lines)
+
+
+class TouchingCache(StateElement):
+    def __init__(self, name, n_sets, instrumentation=None):
+        super().__init__(name, instrumentation)
+        self._sets = [[] for _ in range(n_sets)]
+        self.n_sets = n_sets
+
+    def access(self, paddr):
+        self._touch(paddr % self.n_sets, "read")
+        return self._lookup_cost(paddr)
+
+    def _lookup_cost(self, paddr):
+        # OK: covered by the instrumented caller (access touched).
+        return len(self._sets[paddr % self.n_sets])
+
+    def flush(self):
+        # OK: flush latency is declared wholesale via its return value
+        # (FlushResult protocol), audited dynamically by PO-3/PO-5.
+        dirty = sum(len(lines) for lines in self._sets)
+        self._sets = [[] for _ in range(self.n_sets)]
+        return dirty
+
+    def fingerprint(self):
+        # OK: audit accessor, not reachable from any latency root.
+        return tuple(tuple(lines) for lines in self._sets)
+
+
+def peek_raw(cache):
+    # VIOLATION: reaches into another object's private state container,
+    # bypassing the instrumentation boundary entirely (SC-1 R2).
+    return cache._sets[0]

@@ -1,0 +1,79 @@
+"""SC-2 fixture: seeded determinism violations next to allowed idioms.
+
+Parsed by the analyzer, never imported.  Each violating function is one
+rule; the ``ok_*`` functions are patterns SC-2 must NOT flag.
+"""
+
+import os
+import random
+import time
+
+
+def wall_clock_read():
+    return time.time()  # VIOLATION: wall-clock
+
+
+def perf_counter_read():
+    return time.perf_counter()  # VIOLATION: wall-clock
+
+
+def unseeded_global_draw():
+    return random.randint(0, 10)  # VIOLATION: global-rng
+
+
+def unseeded_instance():
+    return random.Random()  # VIOLATION: global-rng (self-seeds from OS)
+
+
+def entropy_read():
+    return os.urandom(8)  # VIOLATION: entropy
+
+
+def address_ordering(elements):
+    return sorted(elements, key=lambda e: id(e))  # VIOLATION: hash-order
+
+
+def set_into_list(tags):
+    seen = {tag for tag in tags}
+    out = []
+    for tag in seen:  # VIOLATION: set-order (appends in set order)
+        out.append(tag)
+    return out
+
+
+def set_materialized(tags):
+    resident = set(tags)
+    return list(resident)  # VIOLATION: set-order
+
+
+def ok_seeded_instance(seed):
+    rng = random.Random(seed)
+    return rng.randint(0, 10)
+
+
+def ok_explicit_seed(seed):
+    random.seed(seed)
+
+
+def ok_sorted_set(tags):
+    resident = set(tags)
+    return sorted(resident)
+
+
+def ok_membership_only(elements):
+    seen = set()
+    for element in elements:
+        if id(element) not in seen:  # id() for identity, not ordering
+            seen.add(id(element))
+    return len(seen)
+
+
+def ok_dict_iteration(table):
+    out = []
+    for key in table:  # dicts are insertion-ordered (3.7+)
+        out.append(key)
+    return out
+
+
+def ok_sleep():
+    time.sleep(0)  # not a clock *read*

@@ -1,0 +1,61 @@
+"""SC-3 fixture: a machine that hides an element from the abstract model.
+
+Parsed by the analyzer, never imported.  Violations seeded:
+
+* ``ShadowBuffer`` is constructed without ``instrumentation=`` and its
+  binding (``self.shadow``) never appears in ``all_state_elements()``.
+* ``GhostPredictor`` is never constructed anywhere.
+* ``BlindExtractor.from_machine`` ignores ``all_state_elements()``.
+"""
+
+
+class StateElement:
+    def __init__(self, name, instrumentation=None):
+        self.name = name
+        self.instr = instrumentation
+
+
+class TrackedCache(StateElement):
+    def __init__(self, name, instrumentation=None):
+        super().__init__(name, instrumentation)
+        self._sets = []
+
+
+class ShadowBuffer(StateElement):
+    def __init__(self, name, instrumentation=None):
+        super().__init__(name, instrumentation)
+        self._entries = {}
+
+
+class GhostPredictor(StateElement):
+    """VIOLATION: never constructed by any machine in scope."""
+
+    def __init__(self, name, instrumentation=None):
+        super().__init__(name, instrumentation)
+        self._counters = {}
+
+
+class FixtureMachine:
+    def __init__(self, instrumentation):
+        self.instrumentation = instrumentation
+        self.llc = TrackedCache("llc", instrumentation=instrumentation)
+        # VIOLATION x2: no instrumentation= argument, and the binding is
+        # invisible to all_state_elements() below.
+        self.shadow = ShadowBuffer("shadow")
+
+    def all_state_elements(self):
+        return [self.llc]
+
+
+class Extractor:
+    @classmethod
+    def from_machine(cls, machine):
+        return list(machine.all_state_elements())
+
+
+class BlindExtractor:
+    @classmethod
+    def from_machine(cls, machine):
+        # VIOLATION: extracts a hard-coded attribute instead of the
+        # enumeration -- new elements would be silently invisible.
+        return [machine.llc]

@@ -1,0 +1,99 @@
+"""Baseline semantics: justified suppressions, wildcards, stale keys."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.statcheck import BaselineError, run_lint
+from repro.statcheck.baseline import Baseline
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def write_baseline(tmp_path, suppressions):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 1, "suppressions": suppressions}))
+    return str(path)
+
+
+class TestBaseline:
+    def test_suppression_hides_finding(self, tmp_path):
+        unsuppressed = run_lint(
+            paths=[str(FIXTURES / "nondet.py")],
+            checkers=["SC-2"], all_scopes=True,
+        )
+        target = next(f for f in unsuppressed.findings
+                      if f.qualname == "wall_clock_read")
+        baseline = write_baseline(tmp_path, [
+            {"key": target.suppression_key,
+             "justification": "fixture: intentionally suppressed"},
+        ])
+        report = run_lint(
+            paths=[str(FIXTURES / "nondet.py")],
+            checkers=["SC-2"], all_scopes=True, baseline_path=baseline,
+        )
+        assert target.suppression_key not in {
+            f.suppression_key for f in report.findings
+        }
+        assert len(report.suppressed) == 1
+        assert len(report.findings) == len(unsuppressed.findings) - 1
+
+    def test_wildcard_qualname_matches_whole_module(self, tmp_path):
+        module = next(
+            f.module for f in run_lint(
+                paths=[str(FIXTURES / "nondet.py")],
+                checkers=["SC-2"], all_scopes=True,
+            ).findings
+        )
+        baseline = write_baseline(tmp_path, [
+            {"key": f"SC-2:{module}:*:wall-clock",
+             "justification": "fixture: module-wide wall-clock waiver"},
+        ])
+        report = run_lint(
+            paths=[str(FIXTURES / "nondet.py")],
+            checkers=["SC-2"], all_scopes=True, baseline_path=baseline,
+        )
+        assert not any(f.rule == "wall-clock" for f in report.findings)
+        assert len(report.suppressed) == 2  # both wall-clock fixtures
+
+    def test_missing_justification_is_an_error(self, tmp_path):
+        baseline = write_baseline(tmp_path, [
+            {"key": "SC-2:whatever:*:wall-clock", "justification": "  "},
+        ])
+        with pytest.raises(BaselineError, match="justification"):
+            run_lint(
+                paths=[str(FIXTURES / "nondet.py")],
+                checkers=["SC-2"], all_scopes=True, baseline_path=baseline,
+            )
+
+    def test_malformed_baseline_is_an_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[not an object]")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_stale_suppressions_reported(self, tmp_path):
+        baseline = write_baseline(tmp_path, [
+            {"key": "SC-2:no.such.module:*:wall-clock",
+             "justification": "matches nothing"},
+        ])
+        report = run_lint(
+            paths=[str(FIXTURES / "nondet.py")],
+            checkers=["SC-2"], all_scopes=True, baseline_path=baseline,
+        )
+        assert report.stale_suppressions == [
+            "SC-2:no.such.module:*:wall-clock"
+        ]
+        # Stale keys warn; they do not change the exit code logic.
+        assert report.exit_code == 1  # fixture still has live findings
+
+    def test_committed_baseline_entries_all_used(self):
+        # Every suppression in the shipped baseline must still match a
+        # real finding -- otherwise it is dead weight to remove.
+        repo = Path(__file__).resolve().parents[2]
+        report = run_lint(
+            paths=[str(repo / "src" / "repro")],
+            baseline_path=str(repo / "statcheck.baseline.json"),
+        )
+        assert report.stale_suppressions == []

@@ -1,0 +1,61 @@
+"""SC-3 registry-completeness checker against the seeded fixtures."""
+
+from pathlib import Path
+
+from repro.statcheck import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_registry():
+    return run_lint(
+        paths=[str(FIXTURES / "registry.py")],
+        checkers=["SC-3"],
+        all_scopes=True,
+    )
+
+
+class TestRegistryCompleteness:
+    def test_unenumerated_element_flagged(self):
+        report = lint_registry()
+        hits = [f for f in report.findings if f.rule == "unenumerated-element"]
+        assert len(hits) == 1
+        assert "'shadow'" in hits[0].message
+        assert hits[0].qualname == "FixtureMachine.__init__"
+
+    def test_uninstrumented_construction_flagged(self):
+        report = lint_registry()
+        hits = [
+            f for f in report.findings
+            if f.rule == "uninstrumented-construction"
+        ]
+        assert len(hits) == 1
+        assert "ShadowBuffer" in hits[0].message
+
+    def test_never_constructed_element_flagged(self):
+        report = lint_registry()
+        hits = [f for f in report.findings if f.rule == "unregistered-element"]
+        assert len(hits) == 1
+        assert hits[0].qualname == "GhostPredictor"
+
+    def test_blind_extraction_flagged(self):
+        report = lint_registry()
+        hits = [f for f in report.findings if f.rule == "blind-extraction"]
+        assert len(hits) == 1
+        assert hits[0].qualname == "BlindExtractor.from_machine"
+
+    def test_enumerated_and_instrumented_element_clean(self):
+        report = lint_registry()
+        assert not any("TrackedCache" in f.message
+                       for f in report.findings
+                       if f.rule != "unregistered-element")
+        assert not any(f.qualname == "Extractor.from_machine"
+                       for f in report.findings)
+
+    def test_real_machine_enumerates_everything(self):
+        # The shipped Machine/Core/absmodel wiring is the positive case.
+        repo = Path(__file__).resolve().parents[2]
+        report = run_lint(
+            paths=[str(repo / "src" / "repro")], checkers=["SC-3"]
+        )
+        assert report.clean, [f.render() for f in report.findings]
