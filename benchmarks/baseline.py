@@ -1,0 +1,30 @@
+"""Standalone entry point for the throughput baseline harness.
+
+Thin wrapper over :mod:`repro.bench` for running outside the installed
+CLI (e.g. ``PYTHONPATH=src python benchmarks/baseline.py --record``).
+All flags are shared with ``repro-tp bench``; see that subcommand's help
+for details.  Baselines land next to this file as ``BENCH_<host>.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(_ROOT / "src"), str(_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+
+def main(argv=None) -> int:
+    from repro.cli import main as cli_main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--dir" not in argv and "--file" not in argv:
+        argv += ["--dir", str(Path(__file__).resolve().parent)]
+    return cli_main(["bench", *argv])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

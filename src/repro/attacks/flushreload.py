@@ -76,6 +76,7 @@ def experiment(
     machine_factory: Callable[[], Machine],
     rounds_per_run: int = 6,
     sweep_rounds: int = 2,
+    on_kernel: Optional[Callable[[Kernel], None]] = None,
 ) -> ChannelResult:
     """Measure the kernel-text Flush+Reload channel under ``tp``."""
 
@@ -108,6 +109,8 @@ def experiment(
         )
         kernel.set_schedule(0, [(hi, None), (lo, None)])
         kernel.run(max_cycles=rounds_per_run * 400_000)
+        if on_kernel is not None:
+            on_kernel(kernel)
         return results[2:] if len(results) > 2 else results
 
     return run_symbol_sweep(

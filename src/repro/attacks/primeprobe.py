@@ -98,6 +98,7 @@ def l1_experiment(
     symbols: Optional[Sequence[int]] = None,
     rounds_per_run: int = 6,
     sweep_rounds: int = 1,
+    on_kernel: Optional[Callable[[Kernel], None]] = None,
 ) -> ChannelResult:
     """Measure the time-shared L1 prime-and-probe channel under ``tp``.
 
@@ -105,6 +106,10 @@ def l1_experiment(
     needs ``ways`` lines per set to own the whole cache, the Trojan needs
     ``ways`` conflicting lines to evict a full set, and the spy's slice
     must fit a prime plus two timed probes.
+
+    ``on_kernel`` is called with each finished run's kernel (bench step
+    accounting, golden-trace capture) before its observations are folded
+    into the sweep.
     """
 
     def run_once(symbol: Hashable) -> Sequence[Hashable]:
@@ -133,6 +138,8 @@ def l1_experiment(
         )
         kernel.set_schedule(0, [(hi, None), (lo, None)])
         kernel.run(max_cycles=rounds_per_run * (60 * lo_slice))
+        if on_kernel is not None:
+            on_kernel(kernel)
         # The first rounds run before prime/sleep aligns with the domain
         # schedule; drop them as warmup.
         return results[2:] if len(results) > 2 else results
@@ -241,6 +248,7 @@ def llc_experiment(
     symbols: Optional[Sequence[int]] = None,
     rounds_per_run: int = 8,
     sweep_rounds: int = 1,
+    on_kernel: Optional[Callable[[Kernel], None]] = None,
 ) -> ChannelResult:
     """Measure the concurrent (cross-core) LLC channel under ``tp``."""
 
@@ -281,6 +289,8 @@ def llc_experiment(
         kernel.set_schedule(0, [(lo, None)])
         kernel.set_schedule(1, [(hi, None)])
         kernel.run(max_cycles=rounds_per_run * 200_000)
+        if on_kernel is not None:
+            on_kernel(kernel)
         return results[1:] if len(results) > 1 else results
 
     machine = machine_factory()

@@ -63,6 +63,7 @@ def experiment(
     rounds_per_run: int = 8,
     sweep_rounds: int = 1,
     quantum: int = 8,
+    on_kernel: Optional[Callable[[Kernel], None]] = None,
 ) -> ChannelResult:
     """Measure the dirty-line switch-latency channel under ``tp``."""
 
@@ -80,6 +81,8 @@ def experiment(
         )
         kernel.set_schedule(0, [(hi, None), (lo, None)])
         kernel.run(max_cycles=rounds_per_run * 300_000)
+        if on_kernel is not None:
+            on_kernel(kernel)
         kept = results[2:] if len(results) > 2 else results
         return [value // quantum for value in kept]
 

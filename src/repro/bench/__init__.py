@@ -1,0 +1,45 @@
+"""Perf-regression harness: named bench scenarios plus a recorded baseline.
+
+The simulator's throughput is a first-class property of this repo (the
+ROADMAP's "runs as fast as the hardware allows"), so regressions must be
+caught the same way behavioural regressions are: against recorded
+evidence.  ``repro.bench`` provides
+
+* :mod:`repro.bench.scenarios` -- named, deterministic workloads that
+  exercise the hot paths the E2/E3/E4/E5 benchmarks measure, each
+  returning the number of simulated kernel steps it executed so results
+  are reported as ns per simulated step;
+* :mod:`repro.bench.baseline` -- record/compare machinery around
+  ``benchmarks/BENCH_<host>.json`` (median ns/op per bench plus a
+  tolerance band), driven by ``repro-tp bench [--record|--compare]``.
+
+This package deliberately lives outside the ``hardware``/``kernel``/
+``core``/``campaign`` statcheck scopes: measuring host wall-clock time
+is its entire job, which SC-2 rightly forbids everywhere the simulated
+world is in charge.
+"""
+
+from .baseline import (
+    BaselineFile,
+    BenchResult,
+    CompareReport,
+    compare_results,
+    default_baseline_path,
+    load_baseline,
+    run_benches,
+    write_baseline,
+)
+from .scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "BaselineFile",
+    "BenchResult",
+    "CompareReport",
+    "SCENARIOS",
+    "Scenario",
+    "compare_results",
+    "default_baseline_path",
+    "load_baseline",
+    "run_benches",
+    "write_baseline",
+]

@@ -1,0 +1,198 @@
+"""Record and compare throughput baselines (``BENCH_<host>.json``).
+
+``record`` runs the named scenarios, takes the median wall-clock time of
+``repeats`` runs each (after one warmup), and writes median ns per
+simulated step to a per-host JSON file under ``benchmarks/``.  Baselines
+are host-specific because wall-clock throughput is: comparing against a
+different machine's numbers measures the hardware, not the code.
+
+``compare`` re-runs the scenarios and fails when any bench's ns/op
+exceeds ``baseline * (1 + tolerance)``.  The tolerance band is wide by
+design (CI machines are noisy); the gate exists to catch order-of-
+magnitude regressions -- an accidentally quadratic probe loop, a
+debug-logging leak into the hot path -- not 5% drift.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import socket
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .scenarios import SCENARIOS
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One scenario's measurement: wall-clock samples over fixed work."""
+
+    name: str
+    ops: int
+    runs_ns: Sequence[int]
+
+    @property
+    def median_ns(self) -> int:
+        return int(statistics.median(self.runs_ns))
+
+    @property
+    def ns_per_op(self) -> float:
+        return self.median_ns / self.ops
+
+
+@dataclass(frozen=True)
+class BaselineFile:
+    """Parsed ``BENCH_<host>.json`` contents."""
+
+    host: str
+    python: str
+    repeats: int
+    benches: Dict[str, Dict[str, float]]
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BaselineFile":
+        return cls(
+            host=payload.get("host", "?"),
+            python=payload.get("python", "?"),
+            repeats=int(payload.get("repeats", 0)),
+            benches=dict(payload.get("benches", {})),
+        )
+
+
+@dataclass
+class CompareReport:
+    """Per-bench ratios of a fresh run against a recorded baseline."""
+
+    tolerance: float
+    rows: List[dict] = field(default_factory=list)
+
+    def add(self, name: str, result: BenchResult, base: Optional[dict]) -> None:
+        if base is None:
+            self.rows.append({
+                "bench": name,
+                "ns_per_op": result.ns_per_op,
+                "baseline_ns_per_op": None,
+                "ratio": None,
+                "status": "new",
+            })
+            return
+        ratio = result.ns_per_op / base["ns_per_op"]
+        status = "ok" if ratio <= 1.0 + self.tolerance else "regression"
+        self.rows.append({
+            "bench": name,
+            "ns_per_op": result.ns_per_op,
+            "baseline_ns_per_op": base["ns_per_op"],
+            "ratio": ratio,
+            "status": status,
+        })
+
+    @property
+    def regressions(self) -> List[dict]:
+        return [row for row in self.rows if row["status"] == "regression"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [
+            f"{'bench':<22} {'ns/op':>12} {'baseline':>12} "
+            f"{'ratio':>7}  status"
+        ]
+        for row in self.rows:
+            base = row["baseline_ns_per_op"]
+            ratio = row["ratio"]
+            lines.append(
+                f"{row['bench']:<22} {row['ns_per_op']:>12.1f} "
+                f"{base if base is None else format(base, '.1f'):>12} "
+                f"{ratio if ratio is None else format(ratio, '.2f'):>7}"
+                f"  {row['status']}"
+            )
+        verdict = "PASS" if self.passed else (
+            f"FAIL ({len(self.regressions)} bench(es) over "
+            f"{(1 + self.tolerance):.2f}x baseline)"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def sanitized_host() -> str:
+    """Hostname reduced to a filename-safe token."""
+    host = socket.gethostname().split(".")[0] or "unknown"
+    return re.sub(r"[^A-Za-z0-9_-]", "-", host)
+
+
+def default_baseline_path(directory: Path, host: Optional[str] = None) -> Path:
+    return directory / f"BENCH_{host or sanitized_host()}.json"
+
+
+def run_benches(
+    names: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> List[BenchResult]:
+    """Run scenarios by name (all when ``names`` is None), timed."""
+    selected = list(names) if names else sorted(SCENARIOS)
+    unknown = [name for name in selected if name not in SCENARIOS]
+    if unknown:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown bench(es) {unknown}; known: {known}")
+    results = []
+    for name in selected:
+        scenario = SCENARIOS[name]
+        for _ in range(warmup):
+            scenario.run()
+        ops = 0
+        runs_ns = []
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter_ns()
+            ops = scenario.run()
+            runs_ns.append(time.perf_counter_ns() - start)
+        if ops <= 0:
+            raise RuntimeError(f"bench {name!r} reported no simulated steps")
+        results.append(BenchResult(name=name, ops=ops, runs_ns=tuple(runs_ns)))
+    return results
+
+
+def write_baseline(
+    results: Sequence[BenchResult],
+    path: Path,
+    repeats: int,
+) -> dict:
+    payload = {
+        "version": 1,
+        "host": sanitized_host(),
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "benches": {
+            result.name: {
+                "ops": result.ops,
+                "median_ns": result.median_ns,
+                "ns_per_op": round(result.ns_per_op, 2),
+            }
+            for result in results
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def load_baseline(path: Path) -> BaselineFile:
+    return BaselineFile.from_dict(json.loads(path.read_text()))
+
+
+def compare_results(
+    results: Sequence[BenchResult],
+    baseline: BaselineFile,
+    tolerance: float,
+) -> CompareReport:
+    report = CompareReport(tolerance=tolerance)
+    for result in results:
+        report.add(result.name, result, baseline.benches.get(result.name))
+    return report

@@ -1,0 +1,129 @@
+"""Named, deterministic bench workloads over the real experiment code.
+
+Each scenario calls the *actual* attack experiment functions (the same
+entry points the campaign engine and ``benchmarks/bench_*`` drive), with
+fixed symbols/rounds so the simulated work is identical run to run, and
+returns the total number of simulated kernel steps executed.  The bench
+engine divides host wall-clock time by that count, so results read as
+"host nanoseconds per simulated instruction step" -- a unit that stays
+comparable when scenario parameters change.
+
+Step counting rides on the experiments' ``on_kernel`` hook rather than a
+re-implementation of their setup, so a bench always measures exactly the
+code path the experiment suite exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..attacks import flushreload, primeprobe, switch_latency
+from ..hardware import presets
+from ..kernel.kernel import Kernel
+from ..kernel.timeprotect import TimeProtectionConfig
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One bench workload: ``run()`` returns simulated steps executed."""
+
+    name: str
+    description: str
+    run: Callable[[], int]
+
+
+class _StepCounter:
+    """Accumulates ``kernel.total_steps`` across an experiment's runs."""
+
+    def __init__(self) -> None:
+        self.steps = 0
+
+    def __call__(self, kernel: Kernel) -> None:
+        self.steps += kernel.total_steps
+
+
+def _both_tp_configs() -> Tuple[TimeProtectionConfig, TimeProtectionConfig]:
+    # Every scenario runs the channel open *and* defended: the unprotected
+    # run stresses the cache/TLB hot loops, the protected run additionally
+    # stresses the switch path (flush + pad + clone bookkeeping).
+    return (TimeProtectionConfig.none(), TimeProtectionConfig.full())
+
+
+def _run_e2_l1_primeprobe() -> int:
+    counter = _StepCounter()
+    for tp in _both_tp_configs():
+        primeprobe.l1_experiment(
+            tp,
+            presets.tiny_machine,
+            symbols=(2, 4),
+            rounds_per_run=5,
+            on_kernel=counter,
+        )
+    return counter.steps
+
+
+def _run_e3_llc_primeprobe() -> int:
+    counter = _StepCounter()
+    for tp in _both_tp_configs():
+        primeprobe.llc_experiment(
+            tp,
+            lambda: presets.tiny_machine(n_cores=2),
+            symbols=(1, 3),
+            rounds_per_run=5,
+            on_kernel=counter,
+        )
+    return counter.steps
+
+
+def _run_e4_flushreload() -> int:
+    counter = _StepCounter()
+    for tp in _both_tp_configs():
+        flushreload.experiment(
+            tp,
+            presets.tiny_machine,
+            rounds_per_run=5,
+            sweep_rounds=1,
+            on_kernel=counter,
+        )
+    return counter.steps
+
+
+def _run_e5_switch_latency() -> int:
+    counter = _StepCounter()
+    for tp in _both_tp_configs():
+        switch_latency.experiment(
+            tp,
+            presets.tiny_machine,
+            symbols=(1, 8),
+            rounds_per_run=6,
+            on_kernel=counter,
+        )
+    return counter.steps
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "e2_l1_primeprobe",
+            "time-shared L1 prime-and-probe on tiny, tp none+full",
+            _run_e2_l1_primeprobe,
+        ),
+        Scenario(
+            "e3_llc_primeprobe",
+            "concurrent LLC prime-and-probe on 2-core tiny, tp none+full",
+            _run_e3_llc_primeprobe,
+        ),
+        Scenario(
+            "e4_flushreload",
+            "kernel-text flush+reload on tiny, tp none+full",
+            _run_e4_flushreload,
+        ),
+        Scenario(
+            "e5_switch_latency",
+            "dirty-line switch-latency channel on tiny, tp none+full",
+            _run_e5_switch_latency,
+        ),
+    )
+}

@@ -32,6 +32,9 @@ class TrialSpec:
     attack: str
     seed: int = 0
     params: Mapping[str, Any] = field(default_factory=dict)
+    # Instrumentation fidelity: "full" (per-touch evidence, proof-ready)
+    # or "counting" (aggregate counters only -- the sweep fast path).
+    instrumentation: str = "full"
 
     def key(self) -> str:
         """Stable identifier used for result storage and resume."""
@@ -41,6 +44,9 @@ class TrialSpec:
         )
         if self.params:
             base += f"/params={_params_fingerprint(self.params)}"
+        if self.instrumentation != "full":
+            # Appended conditionally so pre-existing stores keep their keys.
+            base += f"/instr={self.instrumentation}"
         return base
 
     def derived_seed(self) -> int:
@@ -64,9 +70,15 @@ class TrialSpec:
             attack=payload["attack"],
             seed=int(payload.get("seed", 0)),
             params=dict(payload.get("params", {})),
+            instrumentation=str(payload.get("instrumentation", "full")),
         )
 
     def validate(self) -> None:
+        if self.instrumentation not in ("full", "counting"):
+            raise KeyError(
+                f"unknown instrumentation {self.instrumentation!r}; "
+                f"choices: ['counting', 'full']"
+            )
         if self.machine not in registry.MACHINES:
             raise KeyError(
                 f"unknown machine {self.machine!r}; "
@@ -100,6 +112,9 @@ class CampaignSpec:
     seeds: Sequence[int] = (0,)
     attack_params: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     name: str = "campaign"
+    # Applied to every trial in the grid; "counting" trades proof-grade
+    # touch evidence for sweep throughput.
+    instrumentation: str = "full"
 
     def trials(self) -> List[TrialSpec]:
         """Expand the grid, skipping core-starved (machine, attack) pairs."""
@@ -126,6 +141,7 @@ class CampaignSpec:
                             attack=attack,
                             seed=int(seed),
                             params=params,
+                            instrumentation=self.instrumentation,
                         )
                         trial.validate()
                         out.append(trial)
@@ -142,12 +158,14 @@ class CampaignSpec:
                 attack: dict(params)
                 for attack, params in self.attack_params.items()
             },
+            "instrumentation": self.instrumentation,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
         known = {
-            "name", "machines", "tps", "attacks", "seeds", "attack_params"
+            "name", "machines", "tps", "attacks", "seeds", "attack_params",
+            "instrumentation",
         }
         unknown = set(data) - known
         if unknown:
@@ -159,6 +177,7 @@ class CampaignSpec:
             seeds=tuple(int(s) for s in data.get("seeds", (0,))),
             attack_params=dict(data.get("attack_params", {})),
             name=str(data.get("name", "campaign")),
+            instrumentation=str(data.get("instrumentation", "full")),
         )
 
     @classmethod

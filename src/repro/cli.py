@@ -1,13 +1,16 @@
-"""Command-line interface: prove, survey channels, inspect, campaigns, lint.
+"""CLI: prove, survey channels, inspect, campaigns, lint, bench.
 
-Five subcommands::
+Six subcommands::
 
     repro-tp prove    [--machine M] [--tp T] [--secrets 1,7,23]
     repro-tp channels [--machine M] [--tp T] [--only e2,e4]
     repro-tp inspect  [--machine M]
     repro-tp campaign [--machines M1,M2] [--tps T1,T2] [--attacks A1,A2]
                       [--seeds 0,1] [--workers N] [--store results.jsonl]
+                      [--instrumentation full|counting]
     repro-tp lint     [paths ...] [--format text|json] [--baseline FILE]
+    repro-tp bench    [--record | --compare] [--benches B1,B2]
+                      [--repeats N] [--tolerance F] [--file PATH]
 
 ``prove`` runs the full Sect. 5 argument (obligations, case split,
 unwinding, two-run noninterference) on a standard two-domain system and
@@ -18,7 +21,10 @@ hardware model (Sect. 5.1) of a machine.  ``campaign`` fans a whole
 JSONL record per trial, resumes past completed trials on re-run, and
 prints the (machine × tp) channel-capacity matrix.  ``lint`` runs the
 static conformance analyzer (``repro.statcheck``) over the source tree:
-exit 0 clean, 1 findings, 2 internal/configuration error.
+exit 0 clean, 1 findings, 2 internal/configuration error.  ``bench``
+runs the throughput scenarios: ``--record`` writes the per-host
+``benchmarks/BENCH_<host>.json`` baseline, ``--compare`` fails (exit 1)
+when any bench exceeds the baseline by more than the tolerance band.
 """
 
 from __future__ import annotations
@@ -186,6 +192,7 @@ def cmd_campaign(args) -> int:
             tps=tuple(t.strip() for t in args.tps.split(",") if t.strip()),
             attacks=tuple(a.strip() for a in args.attacks.split(",") if a.strip()),
             seeds=tuple(int(s) for s in args.seeds.split(",") if s.strip()),
+            instrumentation=args.instrumentation,
         )
     try:
         trials = spec.trials()
@@ -237,6 +244,52 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from .bench import (
+        SCENARIOS,
+        compare_results,
+        default_baseline_path,
+        load_baseline,
+        run_benches,
+        write_baseline,
+    )
+
+    names = [b.strip() for b in args.benches.split(",") if b.strip()] or None
+    try:
+        results = run_benches(names, repeats=args.repeats)
+    except KeyError as error:
+        print(f"bench error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    bench_dir = Path(args.dir)
+    path = Path(args.file) if args.file else default_baseline_path(bench_dir)
+
+    if args.compare:
+        try:
+            baseline = load_baseline(path)
+        except (OSError, ValueError) as error:
+            print(f"cannot load baseline {path}: {error}", file=sys.stderr)
+            print("record one first: repro-tp bench --record", file=sys.stderr)
+            return 2
+        report = compare_results(results, baseline, tolerance=args.tolerance)
+        print(f"comparing against {path} (host={baseline.host}, "
+              f"python={baseline.python}):")
+        print(report.format())
+        return 0 if report.passed else 1
+
+    for result in results:
+        print(f"  {result.name:<22} {result.ns_per_op:>10.1f} ns/op "
+              f"({result.ops} steps, median of {len(result.runs_ns)})")
+    if args.record:
+        write_baseline(results, path, repeats=args.repeats)
+        print(f"recorded baseline: {path}")
+    else:
+        print(f"(dry run; benches available: {', '.join(sorted(SCENARIOS))})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tp",
@@ -281,6 +334,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated attack names")
     campaign.add_argument("--seeds", default="0",
                           help="comma-separated integer seeds")
+    campaign.add_argument("--instrumentation", choices=("full", "counting"),
+                          default="full",
+                          help="touch instrumentation fidelity: 'counting' "
+                               "trades proof-grade evidence for throughput")
     campaign.add_argument("--workers", type=int, default=0,
                           help="worker processes (0 = one per available CPU)")
     campaign.add_argument("--store", default="campaign_results.jsonl",
@@ -311,6 +368,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppression file (default: discover statcheck.baseline.json)",
     )
     lint.set_defaults(func=cmd_lint)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run throughput benches; record or compare a per-host baseline",
+    )
+    mode = bench.add_mutually_exclusive_group()
+    mode.add_argument("--record", action="store_true",
+                      help="write BENCH_<host>.json after running")
+    mode.add_argument("--compare", action="store_true",
+                      help="compare against the recorded baseline (exit 1 on "
+                           "regression)")
+    bench.add_argument("--benches", default="",
+                       help="comma-separated bench names (default: all)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed runs per bench (median is kept)")
+    bench.add_argument("--tolerance", type=float, default=1.0,
+                       help="allowed slowdown fraction for --compare "
+                            "(1.0 = fail only beyond 2x baseline)")
+    bench.add_argument("--dir", default="benchmarks",
+                       help="directory holding BENCH_<host>.json files")
+    bench.add_argument("--file", default="",
+                       help="explicit baseline path (overrides --dir/host)")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

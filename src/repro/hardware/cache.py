@@ -33,7 +33,15 @@ class ReplacementPolicy(enum.Enum):
     PLRU = "plru"
 
 
-@dataclass
+# Hot-path aliases: enum attribute lookups cost a class-dict hash per
+# access, and ``Cache.access`` runs millions of times per experiment.
+_READ = TouchKind.READ
+_WRITE = TouchKind.WRITE
+_EVICT = TouchKind.EVICT
+_FILL = TouchKind.FILL
+
+
+@dataclass(slots=True)
 class CacheLine:
     """One cache line: tag plus replacement/coherence metadata."""
 
@@ -44,7 +52,7 @@ class CacheLine:
     owner: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of a single cache lookup."""
 
@@ -106,6 +114,17 @@ class Cache(StateElement):
         self.page_size = page_size
         self.policy = policy
         self.flush_is_broken = flush_is_broken
+        # Hot-path constants, precomputed once: address-slicing masks from
+        # the (frozen) geometry, policy dispatch flags, and the latency
+        # constants the hierarchy reads on every access.
+        self._offset_bits = geometry.offset_bits
+        self._index_mask = geometry.index_mask
+        self._tag_shift = geometry.tag_shift
+        self._ways = geometry.ways
+        self._is_lru = policy is ReplacementPolicy.LRU
+        self._is_plru = policy is ReplacementPolicy.PLRU
+        self.hit_cycles = latency.hit_cycles
+        self.writeback_cycles_per_line = latency.writeback_cycles_per_line
         self._sets: List[List[CacheLine]] = [[] for _ in range(geometry.sets)]
         self._tick = 0  # monotonic stamp source for LRU/FIFO ordering
         # Tree-PLRU direction bits, one vector per set (ways-1 internal
@@ -129,20 +148,31 @@ class Cache(StateElement):
         Returns an :class:`AccessResult`; the caller (the cache hierarchy)
         composes latencies and propagates misses to the next level.
         """
-        set_index = self.geometry.set_index(paddr)
-        tag = self.geometry.tag(paddr)
-        self._touch(set_index, TouchKind.WRITE if write else TouchKind.READ)
+        set_index = (paddr >> self._offset_bits) & self._index_mask
+        tag = paddr >> self._tag_shift
+        instr = self.instr
+        name = self.name
+        instr.touch(name, set_index, _WRITE if write else _READ)
         lines = self._sets[set_index]
         self._tick += 1
-        for way, line in enumerate(lines):
-            if line.tag == tag:
-                if self.policy is ReplacementPolicy.LRU:
-                    line.stamp = self._tick
-                elif self.policy is ReplacementPolicy.PLRU:
-                    self._plru_point_away(set_index, way)
-                if write:
-                    line.dirty = True
-                return AccessResult(hit=True, set_index=set_index)
+        tick = self._tick
+        if self._is_lru:
+            # LRU (the default policy) needs no way index on a hit, so it
+            # skips the enumerate machinery of the general loop below.
+            for line in lines:
+                if line.tag == tag:
+                    line.stamp = tick
+                    if write:
+                        line.dirty = True
+                    return AccessResult(True, set_index)
+        else:
+            for way, line in enumerate(lines):
+                if line.tag == tag:
+                    if self._is_plru:
+                        self._plru_point_away(set_index, way)
+                    if write:
+                        line.dirty = True
+                    return AccessResult(True, set_index)
         # Miss: fill, possibly evicting the replacement victim.
         owner = self._owner_tag() if self.way_quota else None
         dirty_writeback = False
@@ -152,24 +182,16 @@ class Cache(StateElement):
             victim = lines.pop(victim_way)
             evicted_tag = victim.tag
             dirty_writeback = victim.dirty
-            self._touch(set_index, TouchKind.EVICT)
-            lines.insert(
-                victim_way,
-                CacheLine(tag=tag, dirty=write, stamp=self._tick, owner=owner),
-            )
-            if self.policy is ReplacementPolicy.PLRU:
+            instr.touch(name, set_index, _EVICT)
+            lines.insert(victim_way, CacheLine(tag, write, tick, owner))
+            if self._is_plru:
                 self._plru_point_away(set_index, victim_way)
         else:
-            lines.append(CacheLine(tag=tag, dirty=write, stamp=self._tick, owner=owner))
-            if self.policy is ReplacementPolicy.PLRU:
+            lines.append(CacheLine(tag, write, tick, owner))
+            if self._is_plru:
                 self._plru_point_away(set_index, len(lines) - 1)
-        self._touch(set_index, TouchKind.FILL)
-        return AccessResult(
-            hit=False,
-            set_index=set_index,
-            dirty_writeback=dirty_writeback,
-            evicted_tag=evicted_tag,
-        )
+        instr.touch(name, set_index, _FILL)
+        return AccessResult(False, set_index, dirty_writeback, evicted_tag)
 
     def _owner_tag(self) -> Optional[str]:
         """Partition tag of the current execution context.
@@ -202,7 +224,7 @@ class Cache(StateElement):
             own = [i for i, line in enumerate(lines) if line.owner == owner]
             if len(own) >= quota:
                 return min(own, key=lambda i: lines[i].stamp)
-        if len(lines) < self.geometry.ways:
+        if len(lines) < self._ways:
             return None
         if not self.way_quota:
             return self._select_victim(set_index, lines)
@@ -268,19 +290,19 @@ class Cache(StateElement):
 
     def probe(self, paddr: int) -> bool:
         """Non-allocating presence check (no state change, no touch)."""
-        set_index = self.geometry.set_index(paddr)
-        tag = self.geometry.tag(paddr)
+        set_index = (paddr >> self._offset_bits) & self._index_mask
+        tag = paddr >> self._tag_shift
         return any(line.tag == tag for line in self._sets[set_index])
 
     def invalidate_line(self, paddr: int) -> bool:
         """Evict the line holding ``paddr`` (a ``clflush``-style primitive)."""
-        set_index = self.geometry.set_index(paddr)
-        tag = self.geometry.tag(paddr)
+        set_index = (paddr >> self._offset_bits) & self._index_mask
+        tag = paddr >> self._tag_shift
         lines = self._sets[set_index]
         for line in lines:
             if line.tag == tag:
                 lines.remove(line)
-                self._touch(set_index, TouchKind.EVICT)
+                self.instr.touch(self.name, set_index, TouchKind.EVICT)
                 return True
         return False
 

@@ -13,21 +13,24 @@ from __future__ import annotations
 
 
 class CycleClock:
-    """A monotonic per-core cycle counter."""
+    """A monotonic per-core cycle counter.
+
+    ``now`` is a plain attribute rather than a property: it is read on
+    every simulated step by the kernel run loop and by timestamp-taking
+    instructions, and only the two advance methods below ever write it.
+    """
+
+    __slots__ = ("now",)
 
     def __init__(self, start: int = 0):
-        self._cycles = int(start)
-
-    @property
-    def now(self) -> int:
-        return self._cycles
+        self.now = int(start)
 
     def advance(self, cycles: int) -> int:
         """Advance by ``cycles`` (>= 0); returns the new time."""
         if cycles < 0:
             raise ValueError(f"cannot advance clock by {cycles} cycles")
-        self._cycles += cycles
-        return self._cycles
+        self.now += cycles
+        return self.now
 
     def advance_to(self, target: int) -> int:
         """Busy-wait until ``target`` (no-op if already past).
@@ -36,6 +39,6 @@ class CycleClock:
         latency by spinning until a pre-computed release time, turning a
         history-dependent latency into a constant one (Sect. 4.2).
         """
-        if target > self._cycles:
-            self._cycles = target
-        return self._cycles
+        if target > self.now:
+            self.now = target
+        return self.now

@@ -62,14 +62,14 @@ class TrapKind(enum.Enum):
     HALT = "halt"
 
 
-@dataclass
+@dataclass(slots=True)
 class Trap:
     kind: TrapKind
     syscall: Optional[Syscall] = None
     fault_vaddr: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class StepResult:
     """Outcome of executing one user instruction."""
 
@@ -111,6 +111,18 @@ class Core:
         self.interconnect = interconnect
         self.memory = memory
         self.latency = latency
+        # The latency function is deterministic and fixed at construction
+        # (LatencyConfig is frozen), so its constants are snapshotted into
+        # locals-friendly attributes instead of being re-read through two
+        # attribute hops on every simulated instruction.
+        self._base_cycles = latency.base_cycles
+        self._dram_cycles = latency.dram_cycles
+        self._tlb_hit_cycles = latency.tlb_hit_cycles
+        self._tlb_walk_base_cycles = latency.tlb_walk_base_cycles
+        self._mispredict_cycles = latency.mispredict_penalty_cycles
+        self._readtime_cycles = latency.readtime_cycles
+        self._flush_line_cycles = latency.flush_line_cycles
+        self._trap_entry_cycles = latency.trap_entry_cycles
 
     # ------------------------------------------------------------------
     # Cached physical access paths
@@ -126,32 +138,34 @@ class Core:
         channel) physically lives.
         """
         l1 = self.l1i if fetch else self.l1d
-        cycles = l1.latency.hit_cycles
-        result = l1.access(paddr, write=write)
+        cycles = l1.hit_cycles
+        result = l1.access(paddr, write)
         if result.dirty_writeback:
-            cycles += l1.latency.writeback_cycles_per_line
+            cycles += l1.writeback_cycles_per_line
         if result.hit:
             return cycles
+        l2 = self.l2
         if not fetch:
             for prefetch_addr in self.prefetcher.observe(paddr):
                 # Prefetches fill L2 off the critical path (no latency
                 # charged) but perturb future hit/miss behaviour.
-                self.l2.access(prefetch_addr, write=False)
-        l2_result = self.l2.access(paddr, write=False)
-        cycles += self.l2.latency.hit_cycles
+                l2.access(prefetch_addr, False)
+        l2_result = l2.access(paddr, False)
+        cycles += l2.hit_cycles
         if l2_result.dirty_writeback:
-            cycles += self.l2.latency.writeback_cycles_per_line
+            cycles += l2.writeback_cycles_per_line
         if l2_result.hit:
             return cycles
-        llc_result = self.llc.access(paddr, write=False)
-        cycles += self.llc.latency.hit_cycles
+        llc = self.llc
+        llc_result = llc.access(paddr, False)
+        cycles += llc.hit_cycles
         if llc_result.dirty_writeback:
             transfer = self.interconnect.request(self.core_id, self.clock.now + cycles)
             cycles += transfer.total_cycles
         if llc_result.hit:
             return cycles
         transfer = self.interconnect.request(self.core_id, self.clock.now + cycles)
-        cycles += transfer.total_cycles + self.latency.dram_cycles
+        cycles += transfer.total_cycles + self._dram_cycles
         return cycles
 
     def translate(self, space: AddressSpace, vaddr: int) -> Tuple[int, int]:
@@ -161,14 +175,13 @@ class Core:
         data hierarchy, then refills the TLB.  Raises
         :class:`TranslationFault` for unmapped addresses.
         """
-        vpage = vaddr // space.page_size
+        page_size = space.page_size
+        vpage = vaddr // page_size
         lookup = self.tlb.lookup(space.asid, vpage)
         if lookup.hit:
-            paddr = (
-                lookup.frame_number * space.page_size + vaddr % space.page_size
-            )
-            return self.latency.tlb_hit_cycles, paddr
-        cycles = self.latency.tlb_walk_base_cycles
+            paddr = lookup.frame_number * page_size + vaddr % page_size
+            return self._tlb_hit_cycles, paddr
+        cycles = self._tlb_walk_base_cycles
         for walk_paddr in space.walk_addresses(vaddr):
             cycles += self.cached_access(walk_paddr, write=False)
         mapping = space.lookup(vaddr)  # may raise TranslationFault
@@ -188,7 +201,7 @@ class Core:
         self.l1i.invalidate_line(paddr)
         self.l2.invalidate_line(paddr)
         self.llc.invalidate_line(paddr)
-        return self.latency.flush_line_cycles
+        return self._flush_line_cycles
 
     # ------------------------------------------------------------------
     # Instruction execution
@@ -202,12 +215,12 @@ class Core:
         Returns a :class:`StepResult`; ``trap`` is set for syscalls,
         translation faults and halts, which the kernel model handles.
         """
-        cycles = self.latency.base_cycles
+        cycles = self._base_cycles
         # Instruction fetch through the I-cache (translated pc).
         try:
             fetch_latency, fetch_paddr = self.translate(space, pc)
         except TranslationFault:
-            self.clock.advance(cycles + self.latency.trap_entry_cycles)
+            self.clock.advance(cycles + self._trap_entry_cycles)
             return StepResult(
                 latency=cycles,
                 value=None,
@@ -215,17 +228,19 @@ class Core:
                 trap=Trap(kind=TrapKind.FAULT, fault_vaddr=pc),
             )
         cycles += fetch_latency
-        cycles += self.cached_access(fetch_paddr, write=False, fetch=True)
+        cycles += self.cached_access(fetch_paddr, False, True)
         value: Optional[int] = None
         new_pc = pc + INSTRUCTION_BYTES
 
-        if isinstance(instr, Compute):
-            cycles += max(0, instr.cycles)
-        elif isinstance(instr, Access):
+        # Dispatch in descending dynamic frequency: memory accesses
+        # dominate every attack workload, then fixed-cost compute/timer
+        # steps.  The instruction classes are unrelated types, so the
+        # order changes nothing observable.
+        if isinstance(instr, Access):
             try:
                 translate_latency, paddr = self.translate(space, instr.vaddr)
             except TranslationFault:
-                self.clock.advance(cycles + self.latency.trap_entry_cycles)
+                self.clock.advance(cycles + self._trap_entry_cycles)
                 return StepResult(
                     latency=cycles,
                     value=None,
@@ -233,12 +248,27 @@ class Core:
                     trap=Trap(kind=TrapKind.FAULT, fault_vaddr=instr.vaddr),
                 )
             cycles += translate_latency
-            cycles += self.cached_access(paddr, write=instr.write)
+            cycles += self.cached_access(paddr, instr.write)
             if instr.write:
                 self.memory.write_word(paddr, instr.value)
                 value = instr.value
             else:
                 value = self.memory.read_word(paddr)
+        elif isinstance(instr, Compute):
+            cycles += max(0, instr.cycles)
+        elif isinstance(instr, ReadTime):
+            cycles += self._readtime_cycles
+            self.clock.advance(cycles)
+            return StepResult(cycles, self.clock.now, new_pc)
+        elif isinstance(instr, Syscall):
+            cycles += self._trap_entry_cycles
+            self.clock.advance(cycles)
+            return StepResult(
+                latency=cycles,
+                value=None,
+                new_pc=new_pc,
+                trap=Trap(kind=TrapKind.SYSCALL, syscall=instr),
+            )
         elif isinstance(instr, Branch):
             target = (
                 instr.target
@@ -247,17 +277,13 @@ class Core:
             )
             prediction = self.branch.predict_and_update(pc, instr.taken, target)
             if prediction.mispredicted:
-                cycles += self.latency.mispredict_penalty_cycles
+                cycles += self._mispredict_cycles
             new_pc = target if instr.taken else pc + INSTRUCTION_BYTES
-        elif isinstance(instr, ReadTime):
-            cycles += self.latency.readtime_cycles
-            self.clock.advance(cycles)
-            return StepResult(latency=cycles, value=self.clock.now, new_pc=new_pc)
         elif isinstance(instr, FlushLine):
             try:
                 translate_latency, paddr = self.translate(space, instr.vaddr)
             except TranslationFault:
-                self.clock.advance(cycles + self.latency.trap_entry_cycles)
+                self.clock.advance(cycles + self._trap_entry_cycles)
                 return StepResult(
                     latency=cycles,
                     value=None,
@@ -266,15 +292,6 @@ class Core:
                 )
             cycles += translate_latency
             cycles += self.flush_line_everywhere(paddr)
-        elif isinstance(instr, Syscall):
-            cycles += self.latency.trap_entry_cycles
-            self.clock.advance(cycles)
-            return StepResult(
-                latency=cycles,
-                value=None,
-                new_pc=new_pc,
-                trap=Trap(kind=TrapKind.SYSCALL, syscall=instr),
-            )
         elif isinstance(instr, Halt):
             self.clock.advance(cycles)
             return StepResult(
@@ -284,7 +301,7 @@ class Core:
             raise TypeError(f"unknown instruction {instr!r}")
 
         self.clock.advance(cycles)
-        return StepResult(latency=cycles, value=value, new_pc=new_pc)
+        return StepResult(cycles, value, new_pc)
 
     # ------------------------------------------------------------------
     # State-element enumeration (consumed by the abstract model)

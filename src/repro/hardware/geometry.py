@@ -12,6 +12,10 @@ of a cache is::
 (1 when a single page covers every set, as for typical L1 caches, in which
 case the cache cannot be partitioned by the OS and must be flushed
 instead -- exactly the distinction Sect. 4.1 of the paper draws.)
+
+Address slicing runs on every simulated memory access, so the bit
+widths, masks and shifts are computed once at construction (the geometry
+is frozen) rather than re-derived per call.
 """
 
 from __future__ import annotations
@@ -37,6 +41,11 @@ class CacheGeometry:
         sets: number of cache sets (power of two).
         ways: associativity (lines per set).
         line_size: bytes per cache line (power of two).
+
+    Derived slicing attributes (``offset_bits``, ``index_bits``,
+    ``index_mask``, ``line_mask``, ``tag_shift``) are precomputed at
+    construction; equality and hashing still use only the three declared
+    fields.
     """
 
     sets: int
@@ -52,33 +61,32 @@ class CacheGeometry:
             )
         if self.ways < 1:
             raise ValueError(f"ways must be >= 1, got {self.ways}")
+        # Precomputed address-slicing constants (the dataclass is frozen,
+        # so plain attribute assignment is unavailable).
+        object.__setattr__(self, "offset_bits", _log2(self.line_size))
+        object.__setattr__(self, "index_bits", _log2(self.sets))
+        object.__setattr__(self, "index_mask", self.sets - 1)
+        object.__setattr__(self, "line_mask", ~(self.line_size - 1))
+        object.__setattr__(
+            self, "tag_shift", _log2(self.line_size) + _log2(self.sets)
+        )
 
     @property
     def size_bytes(self) -> int:
         """Total capacity of the cache in bytes."""
         return self.sets * self.ways * self.line_size
 
-    @property
-    def offset_bits(self) -> int:
-        """Number of line-offset bits in an address."""
-        return _log2(self.line_size)
-
-    @property
-    def index_bits(self) -> int:
-        """Number of set-index bits in an address."""
-        return _log2(self.sets)
-
     def set_index(self, paddr: int) -> int:
         """Cache set that physical address ``paddr`` maps to."""
-        return (paddr >> self.offset_bits) & (self.sets - 1)
+        return (paddr >> self.offset_bits) & self.index_mask
 
     def line_address(self, paddr: int) -> int:
         """Address of the start of the line containing ``paddr``."""
-        return paddr & ~(self.line_size - 1)
+        return paddr & self.line_mask
 
     def tag(self, paddr: int) -> int:
         """Tag portion of ``paddr`` (everything above the set index)."""
-        return paddr >> (self.offset_bits + self.index_bits)
+        return paddr >> self.tag_shift
 
     def n_colours(self, page_size: int) -> int:
         """Number of page colours this cache supports.

@@ -84,6 +84,11 @@ class InterruptController:
         again, which is what makes partitioning close the channel rather
         than merely delaying it into the Trojan's own slice.
         """
+        pending = self._pending
+        if not pending or pending[0][0] > now:
+            # Nothing scheduled, or the earliest completion is still in
+            # the future: the heap walk below would keep everything.
+            return None
         deliverable = None
         kept: List[Tuple[int, int, int, int]] = []
         while self._pending:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional, Tuple, Union
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Access:
     """Load (``write=False``) or store (``write=True``) at ``vaddr``.
 
@@ -36,14 +36,14 @@ class Access:
     value: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Pure computation taking ``cycles`` cycles (no state touched)."""
 
     cycles: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Branch:
     """A conditional branch at the current pc.
 
@@ -56,19 +56,19 @@ class Branch:
     target: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadTime:
     """Read the hardware cycle counter (user-level ``rdtsc``)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushLine:
     """User-level ``clflush``: evict ``vaddr``'s line from all levels."""
 
     vaddr: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Syscall:
     """Trap into the kernel (Case 2a of Sect. 5.2).
 
@@ -89,7 +89,7 @@ class Syscall:
     args: Tuple[int, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Halt:
     """Terminate the issuing thread."""
 
@@ -97,7 +97,7 @@ class Halt:
 Instruction = Union[Access, Compute, Branch, ReadTime, FlushLine, Syscall, Halt]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Observation:
     """What a program sees after an instruction completes.
 

@@ -25,7 +25,13 @@ from .interconnect import Interconnect, MbaConfig
 from .interrupts import InterruptController
 from .memory import PhysicalMemory
 from .prefetcher import StridePrefetcher
-from .state import Instrumentation, InstrumentationMode, Scope, StateCategory
+from .state import (
+    CountingInstrumentation,
+    Instrumentation,
+    InstrumentationMode,
+    Scope,
+    StateCategory,
+)
 from .tlb import Tlb
 
 
@@ -171,6 +177,22 @@ class Machine:
             instrumentation=self.instrumentation,
             flush_is_broken=broken,
         )
+
+    def use_counting_instrumentation(self) -> CountingInstrumentation:
+        """Swap in aggregate-count instrumentation (campaign fast path).
+
+        Rewires every state element to a fresh
+        :class:`CountingInstrumentation`, which records per-(domain,
+        element) touch counts but none of the per-index evidence the
+        proof layer audits.  Must be called before a kernel is booted on
+        this machine: kernel subsystems capture the instrumentation
+        reference at construction time.
+        """
+        counting = CountingInstrumentation()
+        self.instrumentation = counting
+        for element in self.all_state_elements():
+            element.instr = counting
+        return counting
 
     # ------------------------------------------------------------------
     # Enumeration for the abstract model and the kernel

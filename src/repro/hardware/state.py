@@ -61,7 +61,7 @@ class TouchKind(enum.Enum):
     UPDATE = "update"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Touch:
     """One recorded access to microarchitectural state."""
 
@@ -75,6 +75,7 @@ class Touch:
 
 class InstrumentationMode(enum.Enum):
     OFF = "off"
+    COUNTING = "counting"
     SUMMARY = "summary"
     FULL = "full"
 
@@ -87,11 +88,19 @@ class Instrumentation:
     ``FULL`` mode additionally keeps the ordered event list, which the
     case-split audit (Sect. 5.2) and the kernel-determinism obligation
     (PO-7) need.  ``OFF`` disables recording for high-volume benchmark
-    runs.
+    runs.  ``COUNTING`` (see :class:`CountingInstrumentation`) keeps only
+    aggregate per-(domain, element) touch counts: cheap enough for
+    campaign sweeps, but useless for proofs -- ``from_machine()`` refuses
+    to build proof obligations from a counting-mode run.
+
+    ``touch()`` runs on every simulated state access, so the recorder
+    keeps the current domain's ``element -> index set`` buckets in a flat
+    dict (switched in ``set_context``) instead of re-hashing a (domain,
+    element) tuple per touch; the buckets alias the entries of
+    ``summary``, whose shape the proof layer reads directly.
     """
 
     def __init__(self, mode: InstrumentationMode = InstrumentationMode.SUMMARY):
-        self.mode = mode
         self.summary: Dict[Tuple[Optional[str], str], Set[Hashable]] = {}
         self.events: List[Touch] = []
         # Mutable execution context, maintained by the machine.
@@ -103,32 +112,58 @@ class Instrumentation:
         # instruction boundary when footprint tracking is enabled.
         self.track_footprint = False
         self.footprint: List[Tuple[str, Hashable, TouchKind]] = []
+        # Per-domain bucket cache; ``_buckets`` is the current domain's.
+        self._domain_buckets: Dict[Optional[str], Dict[str, Set[Hashable]]] = {}
+        self._buckets: Dict[str, Set[Hashable]] = self._domain_buckets.setdefault(
+            None, {}
+        )
+        self.mode = mode
+
+    @property
+    def mode(self) -> InstrumentationMode:
+        return self._mode
+
+    @mode.setter
+    def mode(self, value: InstrumentationMode) -> None:
+        # Mode is settable at runtime (the proof layer raises SUMMARY to
+        # FULL); the dispatch flags below keep ``touch()`` off the enum.
+        self._mode = value
+        self._recording = value in (
+            InstrumentationMode.SUMMARY, InstrumentationMode.FULL
+        )
+        self._full = value is InstrumentationMode.FULL
 
     def set_context(self, domain: Optional[str], core: int, cycle: int) -> None:
-        self.current_domain = domain
+        if domain != self.current_domain:
+            self.current_domain = domain
+            buckets = self._domain_buckets.get(domain)
+            if buckets is None:
+                buckets = {}
+                self._domain_buckets[domain] = buckets
+            self._buckets = buckets
         self.current_core = core
         self.current_cycle = cycle
 
     def touch(self, element: str, index: Hashable, kind: TouchKind) -> None:
         if self.track_footprint:
             self.footprint.append((element, index, kind))
-        if self.mode is InstrumentationMode.OFF:
+        if not self._recording:
             return
-        key = (self.current_domain, element)
-        bucket = self.summary.get(key)
+        bucket = self._buckets.get(element)
         if bucket is None:
             bucket = set()
-            self.summary[key] = bucket
+            self._buckets[element] = bucket
+            self.summary[(self.current_domain, element)] = bucket
         bucket.add(index)
-        if self.mode is InstrumentationMode.FULL:
+        if self._full:
             self.events.append(
                 Touch(
-                    element=element,
-                    index=index,
-                    kind=kind,
-                    domain=self.current_domain,
-                    core=self.current_core,
-                    cycle=self.current_cycle,
+                    element,
+                    index,
+                    kind,
+                    self.current_domain,
+                    self.current_core,
+                    self.current_cycle,
                 )
             )
 
@@ -143,6 +178,57 @@ class Instrumentation:
         self.summary.clear()
         self.events.clear()
         self.footprint = []
+        self._domain_buckets.clear()
+        self._buckets = self._domain_buckets.setdefault(self.current_domain, {})
+
+
+class CountingInstrumentation(Instrumentation):
+    """Aggregate touch counters: the campaign-sweep fast path.
+
+    Keeps one integer per (domain, element) instead of per-index sets and
+    ordered events.  This preserves every *observable* of a channel
+    measurement (latencies are computed from concrete state, not from the
+    recorder) while shedding the per-touch set insertions that dominate
+    full instrumentation.  It records nothing the proof layer could audit
+    -- ``summary`` stays empty -- which is why
+    ``AbstractHardwareModel.from_machine`` rejects machines running in
+    this mode.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(InstrumentationMode.COUNTING)
+        self._domain_counts: Dict[Optional[str], Dict[str, int]] = {}
+        self._counts: Dict[str, int] = self._domain_counts.setdefault(None, {})
+
+    def set_context(self, domain: Optional[str], core: int, cycle: int) -> None:
+        if domain != self.current_domain:
+            self.current_domain = domain
+            counts = self._domain_counts.get(domain)
+            if counts is None:
+                counts = {}
+                self._domain_counts[domain] = counts
+            self._counts = counts
+        self.current_core = core
+        self.current_cycle = cycle
+
+    def touch(self, element: str, index: Hashable, kind: TouchKind) -> None:
+        if self.track_footprint:
+            self.footprint.append((element, index, kind))
+        counts = self._counts
+        counts[element] = counts.get(element, 0) + 1
+
+    def touch_counts(self) -> Dict[Tuple[Optional[str], str], int]:
+        """Aggregate touch counts as one plain (domain, element) -> n dict."""
+        return {
+            (domain, element): count
+            for domain, counts in self._domain_counts.items()
+            for element, count in counts.items()
+        }
+
+    def clear(self) -> None:
+        super().clear()
+        self._domain_counts.clear()
+        self._counts = self._domain_counts.setdefault(self.current_domain, {})
 
 
 @dataclass

@@ -28,8 +28,11 @@ from .state import (
     TouchKind,
 )
 
+# Hot-path alias: ``lookup`` runs twice per simulated memory instruction.
+_READ = TouchKind.READ
 
-@dataclass
+
+@dataclass(slots=True)
 class TlbEntry:
     asid: int
     vpage: int
@@ -39,7 +42,7 @@ class TlbEntry:
     generation: int  # address-space generation at fill time
 
 
-@dataclass
+@dataclass(slots=True)
 class TlbLookupResult:
     hit: bool
     frame_number: Optional[int] = None
@@ -71,14 +74,12 @@ class Tlb(StateElement):
     def lookup(self, asid: int, vpage: int) -> TlbLookupResult:
         self._tick += 1
         key = (asid, vpage)
-        self._touch(key, TouchKind.READ)
+        self.instr.touch(self.name, key, _READ)
         entry = self._entries.get(key)
         if entry is None:
-            return TlbLookupResult(hit=False)
+            return TlbLookupResult(False)
         entry.stamp = self._tick
-        return TlbLookupResult(
-            hit=True, frame_number=entry.frame_number, writable=entry.writable
-        )
+        return TlbLookupResult(True, entry.frame_number, entry.writable)
 
     def fill(
         self,

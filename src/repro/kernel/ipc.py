@@ -59,6 +59,9 @@ class EndpointTable:
         self.default_min_cycles = default_min_cycles
         self._endpoints: Dict[int, Endpoint] = {}
         self._next_id = 1
+        # Plain attribute so the kernel's per-step wakeup scan can skip
+        # itself entirely on systems with no IPC endpoints at all.
+        self.n_endpoints = 0
 
     def create(
         self,
@@ -78,6 +81,7 @@ class EndpointTable:
         )
         self._endpoints[endpoint.endpoint_id] = endpoint
         self._next_id += 1
+        self.n_endpoints = len(self._endpoints)
         return endpoint
 
     def get(self, endpoint_id: int) -> Endpoint:

@@ -45,7 +45,7 @@ _IRQ_HANDLER_LINE_OFFSET = 160
 _IRQ_HANDLER_BASE_CYCLES = 30
 
 
-@dataclass
+@dataclass(slots=True)
 class IrqDeliveryRecord:
     """Evidence of one delivered device interrupt."""
 
@@ -58,7 +58,7 @@ class IrqDeliveryRecord:
     handler_cycles: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ObservationRecord:
     """One program-visible observation (the Lo trace unit)."""
 
@@ -86,6 +86,12 @@ class Kernel:
         self.machine = machine
         self.tp = tp if tp is not None else TimeProtectionConfig.full()
         self.record_observations = record_observations
+        # Counting instrumentation must be installed before any kernel
+        # subsystem (SwitchPath, SyscallHandler) captures the machine's
+        # instrumentation reference.
+        counting = self.tp.instrumentation == "counting"
+        if counting:
+            machine.use_counting_instrumentation()
         line_size = machine.config.llc_geometry.line_size
         if kernel_image_pages is None:
             lines_per_page = max(1, machine.page_size // line_size)
@@ -116,7 +122,14 @@ class Kernel:
             n_lines=machine.config.irq_lines,
         )
         self.scheduler = DomainScheduler()
-        self.switch_path = SwitchPath(machine, self.tp, self.kernel_data_paddrs)
+        # Per-switch LLC fingerprints exist only as proof/audit evidence;
+        # counting-mode runs skip capturing them (a large per-switch cost).
+        self.switch_path = SwitchPath(
+            machine,
+            self.tp,
+            self.kernel_data_paddrs,
+            record_fingerprints=not counting,
+        )
         self.syscalls = SyscallHandler(
             endpoints=self.endpoints,
             irq_policy=self.irq_policy,
@@ -141,6 +154,14 @@ class Kernel:
         self._current_tcb: Dict[int, Optional[Tcb]] = {}
         self._next_domain_id = 1
         self._thread_counter = 0
+        # Thread-list snapshot for the per-step all-finished check,
+        # invalidated by ``_thread_counter`` whenever a thread is created.
+        self._threads_snapshot: Tuple[Tcb, ...] = ()
+        self._threads_version = -1
+        # The all-finished scan only needs to re-run after some thread
+        # transitions to DONE/FAULTED (no other event can make it true);
+        # the run loop consults this flag instead of scanning every step.
+        self._finish_check_needed = True
         self.total_steps = 0
         # Per-step latency dependency footprints (the paper's "unspecified
         # deterministic function" argument lists), captured when
@@ -310,37 +331,74 @@ class Kernel:
         if not cores:
             raise RuntimeError("no core has a schedule; call set_schedule first")
         steps = 0
-        while steps < max_steps:
-            candidates = [c for c in cores if c.clock.now < max_cycles]
-            if not candidates:
-                break
-            core = min(candidates, key=lambda c: c.clock.now)
-            if self._all_threads_finished():
-                break
-            self._step_core(core, max_cycles)
-            steps += 1
+        self._finish_check_needed = True
+        if len(cores) == 1:
+            # Single scheduled core (the common case): the min-clock
+            # candidate selection degenerates to one comparison per step.
+            core = cores[0]
+            clock = core.clock
+            while steps < max_steps and clock.now < max_cycles:
+                if self._finish_check_needed:
+                    if self._all_threads_finished():
+                        break
+                    self._finish_check_needed = False
+                self._step_core(core, max_cycles)
+                steps += 1
+        else:
+            while steps < max_steps:
+                # Earliest-clock core still below the horizon (ties keep
+                # the lowest core id, matching list order).
+                core = None
+                best = max_cycles
+                for candidate in cores:
+                    t = candidate.clock.now
+                    if t < best:
+                        best = t
+                        core = candidate
+                if core is None:
+                    break
+                if self._finish_check_needed:
+                    if self._all_threads_finished():
+                        break
+                    self._finish_check_needed = False
+                self._step_core(core, max_cycles)
+                steps += 1
         self.total_steps += steps
 
     def _all_threads_finished(self) -> bool:
-        threads = self.all_threads()
-        return bool(threads) and all(
-            tcb.state in (ThreadState.DONE, ThreadState.FAULTED) for tcb in threads
-        )
+        if self._threads_version != self._thread_counter:
+            self._threads_snapshot = tuple(self.all_threads())
+            self._threads_version = self._thread_counter
+        threads = self._threads_snapshot
+        if not threads:
+            return False
+        done = ThreadState.DONE
+        faulted = ThreadState.FAULTED
+        for tcb in threads:
+            state = tcb.state
+            if state is not done and state is not faulted:
+                return False
+        return True
 
     def _step_core(self, core: Core, max_cycles: int) -> None:
         core_id = core.core_id
         state = self.scheduler.state(core_id)
         now = core.clock.now
-        switch_at = state.effective_switch_time()
+        # Inline state.effective_switch_time() / state.current: this runs
+        # once per simulated step.
+        forced = state.forced_switch_at
+        slice_end = state.slice_end
+        switch_at = slice_end if forced is None or forced >= slice_end else forced
         if now >= switch_at:
             self._do_switch(core, switch_at)
             return
-        domain = state.current
+        domain = state.entries[state.position][0]
         pending = core.irq.deliverable(now)
         if pending is not None:
             self._handle_irq(core, domain, pending)
             return
-        self._unblock_receivers()
+        if self.endpoints.n_endpoints:
+            self._unblock_receivers()
         tcb = self._pick_thread(core, domain, now)
         if tcb is None:
             self._idle(core, domain, now, switch_at)
@@ -351,12 +409,12 @@ class Kernel:
 
     def _pick_thread(self, core: Core, domain: Domain, now: int) -> Optional[Tcb]:
         current = self._current_tcb.get(core.core_id)
-        if (
-            current is not None
-            and current.domain is domain
-            and current.runnable(now)
-        ):
-            return current
+        if current is not None and current.domain is domain:
+            # Inlined current.runnable(now); this test runs every step.
+            if current.state is ThreadState.READY:
+                wake = current.wake_time
+                if wake is None or now >= wake:
+                    return current
         tcb = domain.next_runnable(core.core_id, now)
         self._current_tcb[core.core_id] = tcb
         return tcb
@@ -416,23 +474,38 @@ class Kernel:
                 instruction = tcb.program.send(delivered)
         except StopIteration:
             tcb.state = ThreadState.DONE
+            self._finish_check_needed = True
             self._current_tcb[core.core_id] = None
             core.clock.advance(1)
             return None
-        tcb.normalise_pc()
+        # Inlined tcb.normalise_pc(): wrap the synthetic pc back into the
+        # code region without a per-step method call.
+        code_size = tcb.code_size
+        if code_size > 0:
+            rel = tcb.pc - tcb.code_base
+            if rel < 0 or rel >= code_size:
+                tcb.pc = tcb.code_base + rel % code_size
         result = core.execute_user(tcb.space, tcb.pc, instruction)
         tcb.pc = result.new_pc
         tcb.steps_executed += 1
         if result.trap is None:
-            tcb.pending_obs = Observation(value=result.value, latency=result.latency)
-            self._record(domain, tcb, result.value, result.latency)
+            value = result.value
+            latency = result.latency
+            tcb.pending_obs = Observation(value, latency)
+            # _record() inlined: this is the once-per-user-step case.
+            if self.record_observations:
+                self.observations[domain.name].append(
+                    ObservationRecord(tcb.name, value, latency)
+                )
             return "1"
         if result.trap.kind is TrapKind.HALT:
             tcb.state = ThreadState.DONE
+            self._finish_check_needed = True
             self._current_tcb[core.core_id] = None
             return None
         if result.trap.kind is TrapKind.FAULT:
             tcb.state = ThreadState.FAULTED
+            self._finish_check_needed = True
             self._current_tcb[core.core_id] = None
             return "2a"
         # Syscall.
@@ -442,7 +515,7 @@ class Kernel:
         if outcome.blocked:
             self._current_tcb[core.core_id] = None
             return "2a"
-        tcb.pending_obs = Observation(value=outcome.retval, latency=kernel_latency)
+        tcb.pending_obs = Observation(outcome.retval, kernel_latency)
         self._record(domain, tcb, outcome.retval, kernel_latency)
         if outcome.yielded:
             self._current_tcb[core.core_id] = None
@@ -453,7 +526,7 @@ class Kernel:
     ) -> None:
         if self.record_observations:
             self.observations[domain.name].append(
-                ObservationRecord(thread=tcb.name, value=value, latency=latency)
+                ObservationRecord(tcb.name, value, latency)
             )
 
     # -- IPC wakeups -------------------------------------------------------

@@ -58,7 +58,7 @@ class KernelImage:
         return frame.base_paddr(self.page_size) + offset % self.page_size
 
 
-@dataclass
+@dataclass(slots=True)
 class Tcb:
     """A thread control block."""
 

@@ -135,9 +135,14 @@ class SwitchPath:
         """Resident LLC tags grouped by page colour (snapshot, no touches)."""
         llc = self.machine.llc
         page_size = self.machine.page_size
+        geometry = llc.geometry
+        # Colour arithmetic hoisted out of the per-set loop: this snapshot
+        # runs on every domain switch over every LLC set.
+        n_colours = geometry.n_colours(page_size)
+        sets_per_colour = geometry.sets_per_colour(page_size)
         by_colour: Dict[int, List] = {}
-        for set_index in range(llc.geometry.sets):
-            colour = llc.geometry.colour_of_set(set_index, page_size)
+        for set_index in range(geometry.sets):
+            colour = set_index // sets_per_colour if n_colours > 1 else 0
             tags = llc.resident_tags(set_index)
             by_colour.setdefault(colour, []).append((set_index, tags))
         return {colour: tuple(entries) for colour, entries in by_colour.items()}

@@ -26,6 +26,15 @@ forbids the syntactic sources of divergence in the scoped packages:
                  iteration is insertion-ordered since 3.7 and is *not*
                  flagged.  The approved idiom is ``sorted(...)`` as in
                  ``core/timefn.py``.
+``id-key``       dict/memo lookups keyed on ``id()`` -- ``d[id(x)]``,
+                 ``d.get(id(x))``, ``d.setdefault(id(x))``.  Addresses
+                 are reused after garbage collection, so a memo keyed on
+                 ``id()`` can silently return a dead object's cached
+                 value; key memo tables on stable identity (the element
+                 name, a tuple of field values) instead.  Pure set
+                 *membership* (``seen.add(id(e))``,
+                 ``id(e) not in seen``) is fine: it never dereferences
+                 through the address while other references are dropped.
 """
 
 from __future__ import annotations
@@ -63,6 +72,9 @@ _GLOBAL_RNG_DRAWS = frozenset({
 _NUMPY_RANDOM_SEEDED_OK = frozenset(
     {"seed", "RandomState", "Generator", "default_rng"}
 )
+
+#: Dict methods whose first argument is a lookup key.
+_KEYED_LOOKUPS = frozenset({"get", "setdefault", "pop"})
 
 _ORDER_SENSITIVE_SINKS = frozenset({"append", "extend", "write", "writelines"})
 _MATERIALIZERS = frozenset({"list", "tuple"})
@@ -215,6 +227,14 @@ class _DeterminismVisitor:
             return
         if isinstance(node, ast.Call):
             self.check_call(node)
+        elif isinstance(node, ast.Subscript):
+            if _is_id_call(node.slice):
+                self.emit(
+                    "id-key", node,
+                    "subscripts a mapping with id(); addresses are reused "
+                    "after GC, so an id()-keyed memo can alias dead "
+                    "objects -- key on stable identity instead",
+                )
         elif isinstance(node, ast.For):
             self.check_for_loop(node)
         elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
@@ -248,6 +268,15 @@ class _DeterminismVisitor:
         func_name = node.func.id if isinstance(node.func, ast.Name) else None
         attr_name = (node.func.attr
                      if isinstance(node.func, ast.Attribute) else None)
+
+        if (attr_name in _KEYED_LOOKUPS and node.args
+                and _is_id_call(node.args[0])):
+            self.emit(
+                "id-key", node,
+                f".{attr_name}(id(...)) looks a mapping up by object "
+                f"address; addresses are reused after GC -- key on "
+                f"stable identity instead",
+            )
 
         if func_name in ("sorted", "min", "max") or attr_name == "sort":
             for sub in ast.walk(node):
@@ -306,6 +335,15 @@ class _DeterminismVisitor:
                           "ordering-sensitive sink; iterate sorted(...) "
                           "instead (core/timefn.py idiom)")
                 break
+
+
+def _is_id_call(node: ast.expr) -> bool:
+    """True for a bare ``id(...)`` call expression."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
 
 
 def _is_global_rng_draw(dotted: str, node: ast.Call) -> bool:

@@ -1,0 +1,180 @@
+"""Golden-trace equivalence: the engine must reproduce recorded traces.
+
+The fast-path engine's correctness claim is *bit-identical observable
+behaviour*: every value and every timestamp Lo observes must match what
+the original engine produced.  These tests pin that claim to committed
+evidence: ``tests/golden/*.json`` holds Lo's full observation trace
+(thread, value, latency triples), final per-core cycle counts, step
+counts, and the pooled channel samples for each (machine x attack x tp)
+case, captured from the pre-optimisation engine.  Any engine change that
+shifts a single latency by a single cycle fails these tests.
+
+Regenerate (only when an *intentional* behaviour change is reviewed)::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/integration/test_golden_traces.py
+
+The mutation test proves the harness can fail: a one-cycle change to one
+latency constant must break the recorded traces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.attacks import flushreload, primeprobe, switch_latency
+from repro.hardware import presets
+from repro.hardware.machine import Machine
+from repro.kernel.timeprotect import TimeProtectionConfig
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+REGEN = bool(os.environ.get("REGEN_GOLDEN"))
+
+_MACHINES = {
+    "tiny": presets.tiny_machine,
+    # Single-core desktop: these are all time-shared (same-core) channels.
+    "desktop": lambda: presets.desktop_machine(n_cores=1),
+}
+
+_TPS = {
+    "none": TimeProtectionConfig.none,
+    "full": TimeProtectionConfig.full,
+}
+
+
+def _run_primeprobe_l1(tp, machine_factory, on_kernel):
+    return primeprobe.l1_experiment(
+        tp, machine_factory, symbols=(2, 4), rounds_per_run=4,
+        on_kernel=on_kernel,
+    )
+
+
+def _run_flushreload(tp, machine_factory, on_kernel):
+    return flushreload.experiment(
+        tp, machine_factory, rounds_per_run=4, sweep_rounds=1,
+        on_kernel=on_kernel,
+    )
+
+
+def _run_switch_latency(tp, machine_factory, on_kernel):
+    return switch_latency.experiment(
+        tp, machine_factory, symbols=(1, 6), rounds_per_run=5,
+        on_kernel=on_kernel,
+    )
+
+
+_ATTACKS = {
+    "primeprobe_l1": _run_primeprobe_l1,
+    "flushreload": _run_flushreload,
+    "switch_latency": _run_switch_latency,
+}
+
+CASES = [
+    (machine, attack, tp)
+    for machine in sorted(_MACHINES)
+    for attack in sorted(_ATTACKS)
+    for tp in sorted(_TPS)
+]
+
+
+def case_id(machine: str, attack: str, tp: str) -> str:
+    return f"{machine}__{attack}__tp-{tp}"
+
+
+def capture_case(machine: str, attack: str, tp: str, machine_factory=None) -> dict:
+    """Run one golden case and serialise everything Lo can observe.
+
+    ``machine_factory`` overrides the preset (the mutation test injects a
+    perturbed machine this way).
+    """
+    factory = machine_factory or _MACHINES[machine]
+    runs = []
+
+    def on_kernel(kernel):
+        runs.append({
+            "trace": [list(entry) for entry in kernel.observation_trace("Lo")],
+            "final_cycles": [core.clock.now for core in kernel.machine.cores],
+            "total_steps": kernel.total_steps,
+            "n_switches": len(kernel.switch_records),
+        })
+
+    result = _ATTACKS[attack](_TPS[tp](), factory, on_kernel)
+    payload = {
+        "case": case_id(machine, attack, tp),
+        "machine": machine,
+        "attack": attack,
+        "tp": tp,
+        "runs": runs,
+        "samples": [list(sample) for sample in result.samples],
+    }
+    # JSON round-trip normalises tuples/ints so captured payloads compare
+    # equal to loaded golden files.
+    return json.loads(json.dumps(payload))
+
+
+def golden_path(machine: str, attack: str, tp: str) -> Path:
+    return GOLDEN_DIR / f"{case_id(machine, attack, tp)}.json"
+
+
+@pytest.mark.parametrize("machine,attack,tp", CASES,
+                         ids=[case_id(*case) for case in CASES])
+def test_engine_reproduces_golden_trace(machine, attack, tp):
+    path = golden_path(machine, attack, tp)
+    if REGEN:
+        payload = capture_case(machine, attack, tp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    if not path.exists():
+        pytest.fail(
+            f"missing golden file {path.name}; generate with REGEN_GOLDEN=1"
+        )
+    golden = json.loads(path.read_text())
+    fresh = capture_case(machine, attack, tp)
+    # Compare piecewise first so a mismatch names the diverging part
+    # instead of dumping two multi-thousand-line payloads.
+    for index, (golden_run, fresh_run) in enumerate(
+        zip(golden["runs"], fresh["runs"])
+    ):
+        for key in ("final_cycles", "total_steps", "n_switches", "trace"):
+            assert fresh_run[key] == golden_run[key], (
+                f"{path.name}: run {index} diverges in {key!r}"
+            )
+    assert fresh["samples"] == golden["samples"], f"{path.name}: samples diverge"
+    assert fresh == golden
+
+
+class TestHarnessCanFail:
+    """Perturbing one latency constant must break the golden traces.
+
+    If a one-cycle DRAM latency change slipped through these tests, the
+    golden files would be decorative.  This is the mutation check that
+    proves they are load-bearing.
+    """
+
+    @staticmethod
+    def _perturbed_tiny() -> Machine:
+        config = presets.tiny_config()
+        config.latency = dataclasses.replace(
+            config.latency, dram_cycles=config.latency.dram_cycles + 1
+        )
+        return Machine(config)
+
+    @pytest.mark.skipif(REGEN, reason="regenerating goldens")
+    def test_one_cycle_latency_perturbation_detected(self):
+        machine, attack, tp = "tiny", "switch_latency", "none"
+        path = golden_path(machine, attack, tp)
+        if not path.exists():
+            pytest.fail(f"missing golden file {path.name}")
+        golden = json.loads(path.read_text())
+        mutated = capture_case(
+            machine, attack, tp, machine_factory=self._perturbed_tiny
+        )
+        assert mutated != golden, (
+            "a +1 cycle DRAM latency perturbation left every golden "
+            "observation unchanged: the traces do not constrain timing"
+        )

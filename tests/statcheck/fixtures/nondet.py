@@ -46,6 +46,22 @@ def set_materialized(tags):
     return list(resident)  # VIOLATION: set-order
 
 
+def memo_subscript_load(table, element):
+    return table[id(element)]  # VIOLATION: id-key
+
+
+def memo_subscript_store(table, element, latency):
+    table[id(element)] = latency  # VIOLATION: id-key
+
+
+def memo_get(table, element):
+    return table.get(id(element))  # VIOLATION: id-key
+
+
+def memo_setdefault(table, element):
+    return table.setdefault(id(element), [])  # VIOLATION: id-key
+
+
 def ok_seeded_instance(seed):
     rng = random.Random(seed)
     return rng.randint(0, 10)

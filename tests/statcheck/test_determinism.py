@@ -27,6 +27,10 @@ class TestDeterminism:
         assert by_qualname.get("address_ordering") == "hash-order"
         assert by_qualname.get("set_into_list") == "set-order"
         assert by_qualname.get("set_materialized") == "set-order"
+        assert by_qualname.get("memo_subscript_load") == "id-key"
+        assert by_qualname.get("memo_subscript_store") == "id-key"
+        assert by_qualname.get("memo_get") == "id-key"
+        assert by_qualname.get("memo_setdefault") == "id-key"
 
     def test_allowed_idioms_not_flagged(self):
         report = lint_nondet()

@@ -57,7 +57,8 @@ class TestRealTreeMutation:
     REPO = Path(__file__).resolve().parents[2]
     NEEDLE = (
         "                lines.remove(line)\n"
-        "                self._touch(set_index, TouchKind.EVICT)\n"
+        "                self.instr.touch(self.name, set_index, "
+        "TouchKind.EVICT)\n"
     )
 
     def test_deleting_touch_from_cache_is_caught(self, tmp_path):
