@@ -35,6 +35,9 @@ class BenchResult:
     name: str
     ops: int
     runs_ns: Sequence[int]
+    #: Optional scenario-reported side metrics (e.g. the model checker's
+    #: peak frontier size); recorded in the baseline, never compared.
+    extra: Optional[Dict[str, float]] = None
 
     @property
     def median_ns(self) -> int:
@@ -148,14 +151,22 @@ def run_benches(
         for _ in range(warmup):
             scenario.run()
         ops = 0
+        extra: Optional[Dict[str, float]] = None
         runs_ns = []
         for _ in range(max(1, repeats)):
             start = time.perf_counter_ns()
-            ops = scenario.run()
+            outcome = scenario.run()
             runs_ns.append(time.perf_counter_ns() - start)
+            # A scenario returns its op count, optionally with a dict of
+            # side metrics to carry into the baseline record.
+            if isinstance(outcome, tuple):
+                ops, extra = outcome
+            else:
+                ops = outcome
         if ops <= 0:
             raise RuntimeError(f"bench {name!r} reported no simulated steps")
-        results.append(BenchResult(name=name, ops=ops, runs_ns=tuple(runs_ns)))
+        results.append(BenchResult(
+            name=name, ops=ops, runs_ns=tuple(runs_ns), extra=extra))
     return results
 
 
@@ -174,6 +185,7 @@ def write_baseline(
                 "ops": result.ops,
                 "median_ns": result.median_ns,
                 "ns_per_op": round(result.ns_per_op, 2),
+                **({"extra": dict(result.extra)} if result.extra else {}),
             }
             for result in results
         },

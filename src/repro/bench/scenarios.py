@@ -26,11 +26,12 @@ from ..kernel.timeprotect import TimeProtectionConfig
 
 @dataclass(frozen=True)
 class Scenario:
-    """One bench workload: ``run()`` returns simulated steps executed."""
+    """One bench workload: ``run()`` returns the op count, optionally
+    paired with a dict of side metrics for the baseline record."""
 
     name: str
     description: str
-    run: Callable[[], int]
+    run: Callable[[], object]
 
 
 class _StepCounter:
@@ -89,6 +90,32 @@ def _run_e4_flushreload() -> int:
     return counter.steps
 
 
+def _run_mc(machine: str):
+    # The checker's throughput unit is explored product states: one
+    # "op" = one deduplicated state (two kernels snapshot-stepped in
+    # lockstep plus a canonical fingerprint), so ns/op inverts to the
+    # states/second figure E14 reports.  tp=full on two secrets is the
+    # exhaustive-PASS path, so the bench covers the whole frontier
+    # machinery with no early violation exit.  Peak frontier size rides
+    # along as a side metric (memory high-water mark in states).
+    from ..mc import McSpec, ModelChecker
+
+    spec = McSpec.for_machine(machine, "full", secrets=(0, 1))
+    report = ModelChecker(spec).run()
+    return report.stats.states_visited, {
+        "peak_frontier": report.stats.peak_frontier,
+        "max_depth": report.stats.max_depth,
+    }
+
+
+def _run_mc_micro():
+    return _run_mc("micro")
+
+
+def _run_mc_tiny():
+    return _run_mc("tiny")
+
+
 def _run_e5_switch_latency() -> int:
     counter = _StepCounter()
     for tp in _both_tp_configs():
@@ -124,6 +151,16 @@ SCENARIOS: Dict[str, Scenario] = {
             "e5_switch_latency",
             "dirty-line switch-latency channel on tiny, tp none+full",
             _run_e5_switch_latency,
+        ),
+        Scenario(
+            "mc_micro",
+            "exhaustive product-state model check on micro, tp full",
+            _run_mc_micro,
+        ),
+        Scenario(
+            "mc_tiny",
+            "exhaustive product-state model check on tiny, tp full",
+            _run_mc_tiny,
         ),
     )
 }

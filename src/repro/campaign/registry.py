@@ -30,6 +30,7 @@ from ..hardware import presets
 from ..kernel import TimeProtectionConfig
 
 MACHINES: Dict[str, Callable] = {
+    "micro": presets.micro_machine,
     "tiny": presets.tiny_machine,
     "tiny2": lambda: presets.tiny_machine(n_cores=2),
     "desktop": presets.desktop_machine,

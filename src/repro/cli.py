@@ -1,8 +1,11 @@
-"""CLI: prove, survey channels, inspect, campaigns, lint, bench.
+"""CLI: prove, model-check, survey channels, inspect, campaigns, lint, bench.
 
-Six subcommands::
+Seven subcommands::
 
     repro-tp prove    [--machine M] [--tp T] [--secrets 1,7,23]
+                      [--format text|json]
+    repro-tp mc       [--machine M] [--tp T] [--depth N] [--secrets 0,1,2]
+                      [--jobs N] [--max-states N] [--format text|json]
     repro-tp channels [--machine M] [--tp T] [--only e2,e4]
     repro-tp inspect  [--machine M]
     repro-tp campaign [--machines M1,M2] [--tps T1,T2] [--attacks A1,A2]
@@ -14,15 +17,18 @@ Six subcommands::
 
 ``prove`` runs the full Sect. 5 argument (obligations, case split,
 unwinding, two-run noninterference) on a standard two-domain system and
-prints the report.  ``channels`` measures the attack suite under the
-chosen configuration.  ``inspect`` extracts and prints the abstract
-hardware model (Sect. 5.1) of a machine.  ``campaign`` fans a whole
-(machine × tp × attack × seed) grid out over a worker pool, appends one
-JSONL record per trial, resumes past completed trials on re-run, and
-prints the (machine × tp) channel-capacity matrix.  ``lint`` runs the
-static conformance analyzer (``repro.statcheck``) over the source tree:
-exit 0 clean, 1 findings, 2 internal/configuration error.  ``bench``
-runs the throughput scenarios: ``--record`` writes the per-host
+prints the report.  ``mc`` exhaustively model-checks noninterference
+over the reachable product state space of a small machine (``micro`` or
+``tiny``): exit 0 when clean, 1 with a minimal replayable counterexample
+otherwise.  ``channels`` measures the attack suite under the chosen
+configuration.  ``inspect`` extracts and prints the abstract hardware
+model (Sect. 5.1) of a machine.  ``campaign`` fans a whole (machine ×
+tp × attack × seed) grid out over a worker pool, appends one JSONL
+record per trial, resumes past completed trials on re-run, and prints
+the (machine × tp) channel-capacity matrix.  ``lint`` runs the static
+conformance analyzer (``repro.statcheck``) over the source tree: exit 0
+clean, 1 findings, 2 internal/configuration error.  ``bench`` runs the
+throughput scenarios: ``--record`` writes the per-host
 ``benchmarks/BENCH_<host>.json`` baseline, ``--compare`` fails (exit 1)
 when any bench exceeds the baseline by more than the tolerance band.
 """
@@ -81,6 +87,8 @@ def _build_standard_system(machine_factory, tp, max_cycles):
 
 
 def cmd_prove(args) -> int:
+    from .core import format_report_json
+
     machine_factory = MACHINES[args.machine]
     tp = TP_CONFIGS[args.tp]()
     secrets = [int(s) for s in args.secrets.split(",")]
@@ -89,8 +97,43 @@ def cmd_prove(args) -> int:
         secrets=secrets,
         observer="Lo",
     )
-    print(format_report(report, verbose=True))
+    if args.format == "json":
+        print(format_report_json(report))
+    else:
+        print(format_report(report, verbose=True))
     return 0 if report.holds else 1
+
+
+def cmd_mc(args) -> int:
+    import time
+
+    from .mc import McSpec, ModelChecker, render_json, render_text
+
+    try:
+        secrets = tuple(int(s) for s in args.secrets.split(",") if s.strip())
+        spec = McSpec.for_machine(
+            args.machine,
+            args.tp,
+            secrets=secrets,
+            depth=args.depth,
+            max_states=args.max_states,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"invalid mc spec: {error}", file=sys.stderr)
+        return 2
+    if len(spec.secrets) < 2:
+        print("need at least two distinct secrets", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    report = ModelChecker(spec, jobs=args.jobs).run()
+    elapsed = time.perf_counter() - started
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+        rate = report.stats.transitions / elapsed if elapsed > 0 else 0.0
+        print(f"[{elapsed:.2f}s wall, {rate:.0f} transitions/s]")
+    return 0 if report.passed else 1
 
 
 def cmd_channels(args) -> int:
@@ -303,7 +346,26 @@ def build_parser() -> argparse.ArgumentParser:
     prove.add_argument("--secrets", default="1,7,23",
                        help="comma-separated Hi secrets to sweep")
     prove.add_argument("--max-cycles", type=int, default=400_000)
+    prove.add_argument("--format", choices=("text", "json"), default="text")
     prove.set_defaults(func=cmd_prove)
+
+    mc = subparsers.add_parser(
+        "mc",
+        help="exhaustively model-check noninterference on a small machine",
+    )
+    mc.add_argument("--machine", choices=sorted(MACHINES), default="micro")
+    mc.add_argument("--tp", choices=sorted(TP_CONFIGS), default="full")
+    mc.add_argument("--depth", type=int, default=400,
+                    help="bound on product-path length (default well above "
+                         "any reachable depth on micro/tiny)")
+    mc.add_argument("--secrets", default="0,1,2",
+                    help="comma-separated Hi secret domain (all pairs checked)")
+    mc.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for frontier expansion (1 = serial)")
+    mc.add_argument("--max-states", type=int, default=200_000,
+                    help="visited-set memory bound")
+    mc.add_argument("--format", choices=("text", "json"), default="text")
+    mc.set_defaults(func=cmd_mc)
 
     channels = subparsers.add_parser("channels", help="measure the attack suite")
     channels.add_argument("--machine", choices=sorted(MACHINES), default="tiny")

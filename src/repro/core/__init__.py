@@ -41,7 +41,7 @@ from .proof import (
     TimeProtectionProof,
     prove_time_protection,
 )
-from .report import format_report
+from .report import format_report, format_report_json, proof_report_to_json
 from .timefn import (
     ConfinementReport,
     FootprintEntry,
@@ -79,6 +79,8 @@ __all__ = [
     "check_unwinding",
     "dependency_profile",
     "format_report",
+    "format_report_json",
+    "proof_report_to_json",
     "lo_projection",
     "po1_complete_management",
     "po2_partitioning",

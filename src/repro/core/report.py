@@ -8,6 +8,7 @@ counterexamples.
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Sequence
 
 from .proof import ProofReport
@@ -80,3 +81,78 @@ def format_report(report: ProofReport, verbose: bool = False) -> str:
             lines.append(f"  - {example}")
     lines.append(_RULE)
     return "\n".join(lines)
+
+
+def proof_report_to_json(report: ProofReport) -> dict:
+    """A :class:`ProofReport` as one JSON-serializable document.
+
+    Everything in the text rendering is here, plus the machine-readable
+    detail the text elides (full violation lists, per-case step counts),
+    so downstream tooling never needs to parse the banner format.
+    """
+    case_split = None
+    if report.case_split is not None:
+        case_split = {
+            "passed": report.case_split.passed,
+            "total_steps": report.case_split.total_steps,
+            "cases": [
+                {
+                    "case": result.case,
+                    "description": result.description,
+                    "steps": result.steps,
+                    "passed": result.passed,
+                    "failures": list(result.failures),
+                }
+                for result in report.case_split.results
+            ],
+        }
+    unwinding = None
+    if report.unwinding is not None:
+        unwinding = {
+            "observer_domain": report.unwinding.observer_domain,
+            "passed": report.unwinding.passed,
+            "switches_into_observer": report.unwinding.switches_into_observer,
+            "failures": list(report.unwinding.failures),
+        }
+    return {
+        "theorem": report.theorem,
+        "holds": report.holds,
+        "model_summary": report.model_summary,
+        "obligations": [
+            {
+                "obligation_id": obligation.obligation_id,
+                "title": obligation.title,
+                "passed": obligation.passed,
+                "violations": list(obligation.violations),
+                "details": obligation.details,
+            }
+            for obligation in report.obligations
+        ],
+        "case_split": case_split,
+        "unwinding": unwinding,
+        "noninterference": [
+            {
+                "observer_domain": result.observer_domain,
+                "secret_a": result.secret_a,
+                "secret_b": result.secret_b,
+                "holds": result.holds,
+                "trace_length_a": result.trace_length_a,
+                "trace_length_b": result.trace_length_b,
+                "divergence": None if result.divergence is None else {
+                    "index": result.divergence.index,
+                    "observation_a": result.divergence.observation_a,
+                    "observation_b": result.divergence.observation_b,
+                },
+                "hardware_divergences": list(result.hardware_divergences),
+            }
+            for result in report.noninterference
+        ],
+        "assumptions": list(report.assumptions),
+        "notes": list(report.notes),
+        "counterexamples": report.counterexamples(),
+    }
+
+
+def format_report_json(report: ProofReport) -> str:
+    """Stable JSON rendering of a :class:`ProofReport`."""
+    return json.dumps(proof_report_to_json(report), indent=2, sort_keys=True)

@@ -130,6 +130,21 @@ class InterruptController:
     def pending_lines(self) -> Set[int]:
         return {line for _t, _s, line, _p in self._pending}
 
+    def fingerprint(self) -> Tuple:
+        """Canonical controller state: mask set plus pending completions.
+
+        A model-checker state hook: delivery behaviour is fully
+        determined by which lines are masked and what is pending (the
+        delivery-count statistics are audit evidence, not state).
+        """
+        return (
+            tuple(sorted(self._masked)),
+            tuple(sorted(
+                (fire_time, line, payload)
+                for fire_time, _seq, line, payload in self._pending
+            )),
+        )
+
     def _check_line(self, line: int) -> None:
         if not 0 <= line < self.n_lines:
             raise ValueError(f"IRQ line {line} out of range 0..{self.n_lines - 1}")

@@ -88,3 +88,14 @@ class PhysicalMemory:
 
     def write_word(self, paddr: int, value: int) -> None:
         self._words[paddr] = value
+
+    def fingerprint(self) -> tuple:
+        """Canonical memory state: written words plus the free-frame set.
+
+        A model-checker state hook: two memories fingerprint equal iff
+        every written word and the allocation state agree.
+        """
+        return (
+            tuple(sorted(self._words.items())),
+            tuple(frame.number for frame in self._free),
+        )

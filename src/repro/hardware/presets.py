@@ -31,6 +31,33 @@ def tiny_machine(n_cores: int = 1) -> Machine:
     return Machine(tiny_config(n_cores=n_cores))
 
 
+def micro_config(n_cores: int = 1) -> MachineConfig:
+    """The model checker's machine: the smallest contract-conforming part.
+
+    128 B pages over a 4-colour, 1 KiB LLC; direct-mapped 4-set L1s, a
+    4-entry TLB and a bimodal predictor.  Every structure is sized so the
+    exhaustive product-construction check (``repro.mc``) can enumerate
+    reachable states quickly while still exercising colouring (4 > 1
+    colour), flushing (dirty-line-dependent latency) and padding.
+    """
+    return MachineConfig(
+        n_cores=n_cores,
+        page_size=128,
+        total_frames=96,
+        l1i_geometry=CacheGeometry(sets=4, ways=1, line_size=32),
+        l1d_geometry=CacheGeometry(sets=4, ways=1, line_size=32),
+        l2_geometry=CacheGeometry(sets=8, ways=2, line_size=32),
+        llc_geometry=CacheGeometry(sets=16, ways=2, line_size=32),
+        tlb_entries=4,
+        branch_history_bits=0,
+        irq_lines=4,
+    )
+
+
+def micro_machine(n_cores: int = 1) -> Machine:
+    return Machine(micro_config(n_cores=n_cores))
+
+
 def desktop_config(n_cores: int = 2, mba: bool = False) -> MachineConfig:
     """A small x86-like part: 4 KiB pages, 64-colour 4 MiB LLC."""
     return MachineConfig(

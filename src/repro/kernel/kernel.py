@@ -18,6 +18,7 @@ protection (Ge et al. [2019], as summarised in Sect. 4.2 of the paper):
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -317,6 +318,43 @@ class Kernel:
 
     def all_threads(self) -> List[Tcb]:
         return [tcb for domain in self.domains.values() for tcb in domain.threads]
+
+    def current_thread(self, core_id: int) -> Optional[Tcb]:
+        """The thread ``core_id`` last dispatched (scheduling state)."""
+        return self._current_tcb.get(core_id)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (model-checker lockstep stepping)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "Kernel":
+        """A deep, independent copy of the entire system, machine included.
+
+        The model checker (``repro.mc``) snapshots a kernel at every
+        branching point and steps the copies independently; nothing is
+        shared between the original and the copy.  Thread programs must
+        carry explicit state for this to work: raw generators cannot be
+        deep-copied, so model-checked systems build their threads from
+        :class:`repro.kernel.objects.ReplayableProgram`.
+        """
+        try:
+            return copy.deepcopy(self)
+        except TypeError as error:
+            raise TypeError(
+                "kernel state is not snapshotable; thread programs must "
+                "carry explicit state (build them from "
+                "repro.kernel.objects.ReplayableProgram, not raw "
+                f"generators): {error}"
+            ) from None
+
+    def step(self, core_id: int = 0, max_cycles: int = 1_000_000_000) -> None:
+        """Execute exactly one scheduler step on ``core_id``.
+
+        The single-transition hook the model checker drives: one user
+        instruction, syscall, interrupt delivery, idle advance or domain
+        switch -- whatever the run loop would do next on that core.
+        """
+        self._step_core(self.machine.cores[core_id], max_cycles)
 
     # ------------------------------------------------------------------
     # The run loop

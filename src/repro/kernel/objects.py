@@ -13,6 +13,7 @@ designer": hence ``Domain.pad_cycles``.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 from typing import Generator, List, Optional, Set
 
@@ -26,6 +27,56 @@ class ThreadState(enum.Enum):
     BLOCKED = "blocked"  # waiting on an endpoint receive
     DONE = "done"
     FAULTED = "faulted"
+
+
+class ReplayableProgram:
+    """A thread program with explicit, copyable state.
+
+    Thread programs are normally raw Python generators, which cannot be
+    deep-copied or pickled -- fine for one-shot runs, fatal for the model
+    checker's snapshot-based lockstep stepping (``Kernel.snapshot``).  A
+    :class:`ReplayableProgram` speaks the same generator protocol the run
+    loop uses (``next`` / ``send``) but keeps its entire state in two
+    slots, so a snapshot of the kernel captures the program mid-flight
+    and both copies replay identically.
+
+    ``step_fn(ctx, index, observation) -> instruction | None`` is called
+    with the 0-based instruction index and the observation delivered for
+    the previous instruction (``None`` on the first call).  Returning
+    ``None`` ends the program (the run loop sees ``StopIteration`` and
+    marks the thread DONE).  ``step_fn`` must be a module-level function
+    and must not close over mutable state: everything history-dependent
+    belongs in ``index``/``observation``/``ctx.params``.
+    """
+
+    __slots__ = ("step_fn", "ctx", "index", "finished")
+
+    def __init__(self, step_fn, ctx):
+        self.step_fn = step_fn
+        self.ctx = ctx
+        self.index = 0
+        self.finished = False
+
+    @classmethod
+    def factory(cls, step_fn):
+        """A ``program_factory`` for ``Kernel.create_thread``."""
+        return functools.partial(cls, step_fn)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        return self.send(None)
+
+    def send(self, observation):
+        if self.finished:
+            raise StopIteration
+        instruction = self.step_fn(self.ctx, self.index, observation)
+        if instruction is None:
+            self.finished = True
+            raise StopIteration
+        self.index += 1
+        return instruction
 
 
 @dataclass

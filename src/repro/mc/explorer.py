@@ -1,0 +1,184 @@
+"""Bounded explicit-state exploration of the noninterference product.
+
+Breadth-first search over product states, deduplicated by canonical
+fingerprint, with predecessor links so a violating transition unwinds
+into a *minimal* counterexample path (BFS discovers states in depth
+order, so the first violating depth is the minimal one; every violation
+at that depth is collected, deeper ones are provably redundant and the
+search stops).
+
+The frontier holds live product states: expanding a state clones it
+once per choice except the last, which consumes the parent in place --
+snapshots are the dominant cost, so a k-way branch costs k-1 deep
+copies, not k+1.  Violating children are recorded (for dedup) but never
+expanded: everything after a violation is more of the same divergence.
+
+Memory is bounded by ``spec.max_states``; depth by ``spec.depth``.  The
+verdict is *exhaustive* only when every secret pair's frontier drained
+with neither bound cutting anything off -- then ``states_visited`` is
+exactly the number of reachable product states.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .product import ProductState
+from .report import McCounterexample, McReport, McStats
+from .spec import McSpec
+
+#: Stop-reason precedence: a violation verdict outranks a memory cut,
+#: which outranks a depth cut, which outranks a clean full drain.
+_STOP_PRECEDENCE = ("violation", "state-bound", "depth-bound", "exhausted")
+
+
+@dataclass
+class McNode:
+    """Predecessor link for one visited product state."""
+
+    depth: int
+    parent: Optional[str]  # fingerprint, None for the root
+    choice: Optional[Tuple]
+
+
+def path_to(visited: Dict[str, McNode], fingerprint: str) -> Tuple[Tuple, ...]:
+    """The choice path from the root to ``fingerprint``, via parent links."""
+    path: List[Tuple] = []
+    node = visited[fingerprint]
+    while node.parent is not None:
+        path.append(node.choice)
+        node = visited[node.parent]
+    return tuple(reversed(path))
+
+
+class ModelChecker:
+    """Exhaustive (bounded) noninterference check of one :class:`McSpec`."""
+
+    def __init__(self, spec: McSpec, jobs: int = 1):
+        self.spec = spec
+        self.jobs = max(1, jobs)
+
+    def run(self) -> McReport:
+        stats = McStats()
+        counterexamples: List[McCounterexample] = []
+        cuts: List[str] = []
+        if self.jobs > 1:
+            from .parallel import explore_pair_parallel
+            with _fork_pool(self.jobs) as pool:
+                for secret_a, secret_b in self.spec.secret_pairs():
+                    pair_cexs, cut = explore_pair_parallel(
+                        self.spec, secret_a, secret_b, stats, pool, self.jobs,
+                    )
+                    counterexamples.extend(pair_cexs)
+                    if cut is not None:
+                        cuts.append(cut)
+        else:
+            for secret_a, secret_b in self.spec.secret_pairs():
+                pair_cexs, cut = self._explore_pair(secret_a, secret_b, stats)
+                counterexamples.extend(pair_cexs)
+                if cut is not None:
+                    cuts.append(cut)
+
+        counterexamples.sort(
+            key=lambda cex: (cex.depth, cex.secret_a, cex.secret_b))
+        if counterexamples:
+            stop_reason = "violation"
+        elif "state-bound" in cuts:
+            stop_reason = "state-bound"
+        elif "depth-bound" in cuts:
+            stop_reason = "depth-bound"
+        else:
+            stop_reason = "exhausted"
+        return McReport(
+            spec=self.spec,
+            passed=not counterexamples,
+            exhaustive=stop_reason == "exhausted",
+            stop_reason=stop_reason,
+            stats=stats,
+            counterexamples=counterexamples,
+            jobs=self.jobs,
+        )
+
+    def _explore_pair(
+        self, secret_a: int, secret_b: int, stats: McStats,
+    ) -> Tuple[List[McCounterexample], Optional[str]]:
+        """Serial BFS over the product rooted at one secret pair."""
+        spec = self.spec
+        root = ProductState.initial(spec, secret_a, secret_b)
+        root_fp = root.fingerprint()
+        visited: Dict[str, McNode] = {root_fp: McNode(0, None, None)}
+        stats.states_visited += 1
+        frontier = deque([(root_fp, root)])
+        # Peak frontier is the widest BFS level (states enqueued at one
+        # depth) -- a deque-length reading would mix two depths and
+        # disagree with the level-synchronous parallel explorer.
+        level_width: Dict[int, int] = {0: 1}
+        stats.peak_frontier = max(stats.peak_frontier, 1)
+        counterexamples: List[McCounterexample] = []
+        violation_depth: Optional[int] = None
+        cut: Optional[str] = None
+
+        while frontier:
+            fingerprint, state = frontier.popleft()
+            node = visited[fingerprint]
+            if violation_depth is not None and node.depth + 1 > violation_depth:
+                # BFS pops in depth order: every remaining expansion is
+                # deeper than the minimal violation already in hand.
+                break
+            choices = state.available_choices(spec)
+            if not choices:
+                stats.terminal_states += 1
+                continue
+            if node.depth >= spec.depth:
+                cut = "depth-bound"
+                continue
+            child_depth = node.depth + 1
+            for position, choice in enumerate(choices):
+                child = state if position == len(choices) - 1 else state.clone()
+                violations = child.apply(choice, spec)
+                stats.transitions += 1
+                stats.max_depth = max(stats.max_depth, child_depth)
+                child_fp = child.fingerprint()
+                known = child_fp in visited
+                if known:
+                    stats.deduped += 1
+                elif stats.states_visited < spec.max_states:
+                    visited[child_fp] = McNode(child_depth, fingerprint, choice)
+                    stats.states_visited += 1
+                else:
+                    cut = "state-bound"
+                if violations:
+                    if not known:
+                        if violation_depth is None:
+                            violation_depth = child_depth
+                        if child_depth <= violation_depth:
+                            counterexamples.append(McCounterexample(
+                                secret_a=secret_a,
+                                secret_b=secret_b,
+                                path=path_to(visited, fingerprint) + (choice,),
+                                depth=child_depth,
+                                violations=tuple(violations),
+                            ))
+                    continue
+                if not known and cut != "state-bound":
+                    frontier.append((child_fp, child))
+                    level_width[child_depth] = (
+                        level_width.get(child_depth, 0) + 1)
+                    stats.peak_frontier = max(
+                        stats.peak_frontier, level_width[child_depth])
+            if cut == "state-bound":
+                break
+        return counterexamples, cut
+
+
+def _fork_pool(jobs: int):
+    """A fork-context pool (same rationale as the campaign executor)."""
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        context = multiprocessing.get_context()
+    return context.Pool(processes=jobs)

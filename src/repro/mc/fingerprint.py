@@ -1,0 +1,213 @@
+"""Canonical state fingerprinting with symmetry reduction.
+
+Two system states are the *same* model-checker state iff every future
+behaviour agrees; the fingerprint is a stable digest of exactly the
+state that future behaviour reads: clocks, scheduler positions, thread
+and program state, every microarchitectural element's fingerprint,
+memory contents, pending interrupts -- plus the accumulated Lo-relevant
+evidence (observation traces, switch records, step classifications),
+because the checker's prefix comparisons read those too.
+
+Symmetry reduction operates on the *allocation metadata*: security
+domains are relabelled by schedule order (the observer keeps a
+distinguished label, so reductions never alias states that differ in
+who is observing) and page-colour identifiers by first appearance, so
+two systems that differ only in which concrete colour ids the allocator
+happened to hand out collapse into one state.  Deep microarchitectural
+state (cache tags, memory addresses) is digested raw: relabelling
+physical addresses is not in general sound, and the builder allocates
+deterministically, so raw comparison is exact there.
+
+Digests use :mod:`hashlib` (BLAKE2b), never Python's per-process
+randomised ``hash()`` -- fingerprints must agree across worker
+processes (and lint clean under SC-2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Tuple
+
+from ..kernel.kernel import Kernel
+from ..kernel.objects import ReplayableProgram
+
+DIGEST_SIZE = 16
+
+
+def _domain_order(kernel: Kernel) -> List:
+    """Domains in schedule order (then creation order for the rest)."""
+    order = []
+    seen = set()
+    for core_id in kernel.scheduler.scheduled_cores():
+        for domain in kernel.scheduler.domains_on_core(core_id):
+            if domain.name not in seen:
+                seen.add(domain.name)
+                order.append(domain)
+    for domain in kernel.domains.values():
+        if domain.name not in seen:
+            seen.add(domain.name)
+            order.append(domain)
+    return order
+
+
+def _role_labels(kernel: Kernel, observer: str) -> Dict[str, str]:
+    """Domain name -> canonical role label, observer distinguished."""
+    labels: Dict[str, str] = {}
+    for position, domain in enumerate(_domain_order(kernel)):
+        if domain.name == observer:
+            labels[domain.name] = "obs"
+        else:
+            labels[domain.name] = f"d{position}"
+    return labels
+
+
+def _colour_map(kernel: Kernel) -> Dict[int, int]:
+    """Concrete colour id -> canonical id by first appearance."""
+    mapping: Dict[int, int] = {}
+    for colour in sorted(kernel.allocator.kernel_colours):
+        mapping.setdefault(colour, len(mapping))
+    for domain in _domain_order(kernel):
+        for colour in sorted(domain.colours):
+            mapping.setdefault(colour, len(mapping))
+    return mapping
+
+
+def _relabel_context(context: str, labels: Dict[str, str]) -> str:
+    """Instrumentation context with domain names replaced by role labels."""
+    if context.startswith("@switch:"):
+        pair = context[len("@switch:"):]
+        from_name, _, to_name = pair.partition(">")
+        return (
+            f"@switch:{labels.get(from_name, from_name)}"
+            f">{labels.get(to_name, to_name)}"
+        )
+    name, sep, mode = context.partition("/")
+    return f"{labels.get(name, name)}{sep}{mode}"
+
+
+def _relabel_colour_keys(fingerprints: Dict[int, Tuple],
+                         colours: Dict[int, int]) -> Tuple:
+    return tuple(
+        (colours.get(colour, ("raw", colour)), entries)
+        for colour, entries in sorted(fingerprints.items())
+    )
+
+
+def canonical_state(kernel: Kernel, observer: str = "Lo") -> Tuple:
+    """The canonical (symmetry-reduced) structure the digest hashes."""
+    labels = _role_labels(kernel, observer)
+    colours = _colour_map(kernel)
+    order = _domain_order(kernel)
+    tcb_labels = {
+        tcb.name: (labels[domain.name], position)
+        for domain in order
+        for position, tcb in enumerate(domain.threads)
+    }
+
+    cores = []
+    for core_id in kernel.scheduler.scheduled_cores():
+        core = kernel.machine.cores[core_id]
+        state = kernel.scheduler.state(core_id)
+        current = kernel.current_thread(core_id)
+        cores.append((
+            core_id,
+            core.clock.now,
+            state.position,
+            state.slice_end,
+            state.forced_switch_at,
+            tcb_labels.get(current.name) if current is not None else None,
+            core.irq.fingerprint(),
+        ))
+
+    domains = []
+    for domain in order:
+        threads = tuple(
+            (
+                tcb_labels[tcb.name],
+                tcb.state.value,
+                tcb.pc - tcb.code_base,
+                tcb.steps_executed,
+                # Program state *and* its parameters: params (e.g. the
+                # secret) determine all future instructions, so omitting
+                # them could alias states with different futures.
+                (tcb.program.index, tcb.program.finished,
+                 tuple(sorted(tcb.program.ctx.params.items())))
+                if isinstance(tcb.program, ReplayableProgram)
+                else ("opaque", tcb.steps_executed),
+                (tcb.pending_obs.value, tcb.pending_obs.latency)
+                if tcb.pending_obs is not None
+                else None,
+                tcb.wake_time,
+                tcb.blocked_on_endpoint,
+            )
+            for tcb in domain.threads
+        )
+        domains.append((
+            labels[domain.name],
+            tuple(colours[c] for c in sorted(domain.colours)),
+            domain.slice_cycles,
+            domain.pad_cycles,
+            tuple(sorted(domain.irq_lines)),
+            threads,
+            tuple(sorted(domain.rr_position.items())),
+        ))
+
+    observations = tuple(
+        (
+            labels[domain.name],
+            tuple(
+                (tcb_labels.get(thread, thread), value, latency)
+                for thread, value, latency in
+                kernel.observation_trace(domain.name)
+            ),
+        )
+        for domain in order
+    )
+
+    switches = tuple(
+        (
+            record.core_id,
+            labels.get(record.from_domain, record.from_domain),
+            labels.get(record.to_domain, record.to_domain),
+            record.scheduled_at,
+            record.entered_at,
+            record.finished_at,
+            record.pad_target,
+            record.released_at,
+            record.flush_cycles,
+            record.lines_written_back,
+            tuple(sorted(record.post_flush_fingerprints.items())),
+            _relabel_colour_keys(record.llc_colour_fingerprints, colours),
+        )
+        for record in kernel.switch_records
+    )
+
+    cases = tuple(
+        (case, _relabel_context(context, labels))
+        for case, context, _footprint in kernel.step_footprints
+    )
+
+    return (
+        cores,
+        tuple(domains),
+        kernel.machine.fingerprint_all(),
+        kernel.machine.memory.fingerprint(),
+        observations,
+        switches,
+        cases,
+        kernel.endpoints.n_endpoints,
+    )
+
+
+def state_fingerprint(kernel: Kernel, observer: str = "Lo") -> str:
+    """Stable hex digest of the canonical state."""
+    doc = repr(canonical_state(kernel, observer)).encode()
+    return hashlib.blake2b(doc, digest_size=DIGEST_SIZE).hexdigest()
+
+
+def product_fingerprint(fp_a: str, fp_b: str) -> str:
+    """Digest of a product state; the pair is unordered (swap symmetry)."""
+    low, high = (fp_a, fp_b) if fp_a <= fp_b else (fp_b, fp_a)
+    return hashlib.blake2b(
+        (low + ":" + high).encode(), digest_size=DIGEST_SIZE
+    ).hexdigest()

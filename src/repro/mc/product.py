@@ -1,0 +1,263 @@
+"""The product construction: lockstep pairs and per-transition checks.
+
+A *product state* is a pair of whole systems built identically except
+for Hi's secret.  Each abstract choice (a kernel step, or an IRQ raised
+now) is concretised on both sides; noninterference says everything Lo
+can observe must then stay equal across the pair forever.
+
+The comparison is over **Lo-visible prefixes**, never raw step indices:
+under full protection Hi legitimately executes a secret-dependent
+*number* of instructions inside its slice, so position-by-position
+global comparison would report false violations.  What must agree is
+
+* (a) Lo's observation trace and the Lo-projection at every switch into
+  Lo (``core/unwinding.py``'s projection, reused verbatim), compared on
+  the common prefix;
+* (b) the Sect. 5.2 case split restricted to Lo-attributed steps: the
+  sequence of case labels ("1"/"2a"/"2b") Lo's execution produces must
+  classify identically on both sides;
+* (c) per-side mechanism invariants on every new switch record, gated on
+  the mechanisms the TP config enables: flush-reset (PO-3),
+  pad-to-constant release timestamps (PO-4/PO-5), and colour
+  partitioning of every recorded touch (PO-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.invariants import check_partition_touches
+from ..core.noninterference import trace_divergence
+from ..core.unwinding import lo_projection
+from ..kernel.kernel import Kernel
+from .fingerprint import product_fingerprint, state_fingerprint
+from .spec import STEP, McSpec, apply_choice, build_system, is_terminal
+
+OBSERVER = "Lo"
+
+
+@dataclass(frozen=True)
+class McViolation:
+    """One noninterference/invariant violation found on a transition."""
+
+    kind: str  # lo-trace | lo-projection | case-split | flush-reset |
+               # pad-constant | partition
+    detail: str
+    side: str  # "pair" for cross-pair checks, else "a"/"b"
+    divergence_index: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = "" if self.side == "pair" else f" [side {self.side}]"
+        return f"{self.kind}{where}: {self.detail}"
+
+
+def _lo_case_trace(kernel: Kernel) -> Tuple[str, ...]:
+    """Case labels of every Lo-attributed step, in execution order."""
+    labels = []
+    for case, context, _footprint in kernel.step_footprints:
+        if (
+            context == OBSERVER
+            or context == f"{OBSERVER}/kernel"
+            or (context.startswith("@switch:") and context.endswith(f">{OBSERVER}"))
+        ):
+            labels.append(case)
+    return tuple(labels)
+
+
+def _check_pair(kernel_a: Kernel, kernel_b: Kernel) -> List[McViolation]:
+    """Cross-pair checks (a) and (b) over Lo-visible prefixes."""
+    violations: List[McViolation] = []
+
+    trace_a = kernel_a.observation_trace(OBSERVER)
+    trace_b = kernel_b.observation_trace(OBSERVER)
+    common = min(len(trace_a), len(trace_b))
+    divergence = trace_divergence(trace_a[:common], trace_b[:common])
+    if divergence is not None:
+        violations.append(McViolation(
+            kind="lo-trace",
+            detail=str(divergence),
+            side="pair",
+            divergence_index=divergence.index,
+        ))
+
+    projection_a = lo_projection(kernel_a, OBSERVER)
+    projection_b = lo_projection(kernel_b, OBSERVER)
+    for index in range(min(len(projection_a), len(projection_b))):
+        if projection_a[index] != projection_b[index]:
+            violations.append(McViolation(
+                kind="lo-projection",
+                detail=(
+                    f"Lo-projection differs at entry #{index} "
+                    f"(release {projection_a[index][0]} vs "
+                    f"{projection_b[index][0]})"
+                ),
+                side="pair",
+                divergence_index=index,
+            ))
+            break
+
+    cases_a = _lo_case_trace(kernel_a)
+    cases_b = _lo_case_trace(kernel_b)
+    for index in range(min(len(cases_a), len(cases_b))):
+        if cases_a[index] != cases_b[index]:
+            violations.append(McViolation(
+                kind="case-split",
+                detail=(
+                    f"Lo step #{index} classified as case "
+                    f"{cases_a[index]!r} vs {cases_b[index]!r}"
+                ),
+                side="pair",
+                divergence_index=index,
+            ))
+            break
+
+    return violations
+
+
+def _check_side(kernel: Kernel, side: str,
+                first_new_switch: int) -> List[McViolation]:
+    """Per-side mechanism invariants (c) on newly produced switch records."""
+    violations: List[McViolation] = []
+    new_records = kernel.switch_records[first_new_switch:]
+
+    if kernel.tp.flush_on_switch:
+        for offset, record in enumerate(new_records):
+            number = first_new_switch + offset
+            expected = {
+                element.name
+                for element in
+                kernel.machine.flushable_elements_of_core(record.core_id)
+            }
+            missing = expected - set(record.flushed_elements)
+            if missing:
+                violations.append(McViolation(
+                    kind="flush-reset",
+                    detail=(
+                        f"switch #{number}: elements not flushed: "
+                        f"{sorted(missing)}"
+                    ),
+                    side=side,
+                ))
+                continue
+            for name in sorted(record.flushed_elements):
+                post = record.post_flush_fingerprints.get(name)
+                reset = record.reset_fingerprints.get(name)
+                if post != reset:
+                    violations.append(McViolation(
+                        kind="flush-reset",
+                        detail=f"switch #{number}: {name} not reset by flush",
+                        side=side,
+                    ))
+
+    if kernel.tp.pad_switch:
+        for offset, record in enumerate(new_records):
+            number = first_new_switch + offset
+            from_domain = kernel.domains.get(record.from_domain)
+            expected_target = (
+                record.scheduled_at + from_domain.pad_cycles
+                if from_domain is not None else None
+            )
+            if record.pad_target != expected_target:
+                violations.append(McViolation(
+                    kind="pad-constant",
+                    detail=(
+                        f"switch #{number}: pad target {record.pad_target} "
+                        f"!= schedule + pad {expected_target}"
+                    ),
+                    side=side,
+                ))
+            elif record.overrun or record.released_at != record.pad_target:
+                violations.append(McViolation(
+                    kind="pad-constant",
+                    detail=(
+                        f"switch #{number}: released at {record.released_at}, "
+                        f"pad target {record.pad_target} (overrun: padding "
+                        f"insufficient)"
+                    ),
+                    side=side,
+                ))
+
+    if kernel.tp.cache_colouring and new_records:
+        # The touch log is cumulative; re-audit only when a switch just
+        # happened (the boundary at which partitioning must hold).
+        for violation in check_partition_touches(kernel):
+            violations.append(McViolation(
+                kind="partition", detail=str(violation), side=side,
+            ))
+
+    return violations
+
+
+class ProductState:
+    """A pair of systems, equal but for the secret, stepped in lockstep."""
+
+    __slots__ = ("kernel_a", "kernel_b", "secret_a", "secret_b", "irq_budget")
+
+    def __init__(self, kernel_a: Kernel, kernel_b: Kernel,
+                 secret_a: int, secret_b: int, irq_budget: int):
+        self.kernel_a = kernel_a
+        self.kernel_b = kernel_b
+        self.secret_a = secret_a
+        self.secret_b = secret_b
+        self.irq_budget = irq_budget
+
+    @classmethod
+    def initial(cls, spec: McSpec, secret_a: int, secret_b: int) -> "ProductState":
+        return cls(
+            kernel_a=build_system(spec, secret_a),
+            kernel_b=build_system(spec, secret_b),
+            secret_a=secret_a,
+            secret_b=secret_b,
+            irq_budget=spec.irq_budget,
+        )
+
+    @classmethod
+    def from_path(cls, spec: McSpec, secret_a: int, secret_b: int,
+                  path: Tuple[Tuple, ...]) -> "ProductState":
+        """Rebuild a product state by replaying a choice path from the root."""
+        state = cls.initial(spec, secret_a, secret_b)
+        for choice in path:
+            state.apply(choice, spec)
+        return state
+
+    def clone(self) -> "ProductState":
+        return ProductState(
+            kernel_a=self.kernel_a.snapshot(),
+            kernel_b=self.kernel_b.snapshot(),
+            secret_a=self.secret_a,
+            secret_b=self.secret_b,
+            irq_budget=self.irq_budget,
+        )
+
+    def terminal(self, spec: McSpec) -> bool:
+        return is_terminal(self.kernel_a, spec) and is_terminal(self.kernel_b, spec)
+
+    def available_choices(self, spec: McSpec) -> List[Tuple]:
+        if self.terminal(spec):
+            return []
+        choices: List[Tuple] = [STEP]
+        if self.irq_budget > 0:
+            choices.extend(("irq", line) for line in spec.irq_lines)
+        return choices
+
+    def apply(self, choice: Tuple, spec: McSpec) -> List[McViolation]:
+        """Concretise ``choice`` on both sides; return transition violations."""
+        switches_a = len(self.kernel_a.switch_records)
+        switches_b = len(self.kernel_b.switch_records)
+        if not is_terminal(self.kernel_a, spec):
+            apply_choice(self.kernel_a, choice, spec)
+        if not is_terminal(self.kernel_b, spec):
+            apply_choice(self.kernel_b, choice, spec)
+        if choice[0] == "irq":
+            self.irq_budget -= 1
+        violations = _check_pair(self.kernel_a, self.kernel_b)
+        violations.extend(_check_side(self.kernel_a, "a", switches_a))
+        violations.extend(_check_side(self.kernel_b, "b", switches_b))
+        return violations
+
+    def fingerprint(self) -> str:
+        return product_fingerprint(
+            state_fingerprint(self.kernel_a, OBSERVER),
+            state_fingerprint(self.kernel_b, OBSERVER),
+        )

@@ -34,7 +34,10 @@ BASELINE_FILENAME = "statcheck.baseline.json"
 
 _SCOPE_SEGMENTS = {
     "SC-1": {"hardware"},
-    "SC-2": {"hardware", "kernel", "core", "campaign"},
+    # The model checker is in SC-2 scope: fingerprints and exploration
+    # order must be deterministic across processes (frontier sharding
+    # hands states to fork workers by hash).
+    "SC-2": {"hardware", "kernel", "core", "campaign", "mc"},
     "SC-3": {"hardware", "core"},
 }
 

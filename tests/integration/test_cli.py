@@ -61,6 +61,64 @@ class TestProve:
         assert code == 1
         assert "THEOREM FAILS" in capsys.readouterr().out
 
+    def test_json_format_is_a_full_stable_report(self, capsys):
+        code = main(
+            ["prove", "--machine", "tiny", "--tp", "full",
+             "--secrets", "1,9", "--max-cycles", "250000",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["holds"] is True
+        assert {o["obligation_id"] for o in payload["obligations"]} >= {
+            "PO-2", "PO-3", "PO-4"
+        }
+        assert all(o["passed"] for o in payload["obligations"])
+        assert payload["case_split"]["passed"] is True
+        assert payload["unwinding"]["observer_domain"] == "Lo"
+        assert [r["holds"] for r in payload["noninterference"]] == [True]
+        assert payload["assumptions"]
+        assert payload["counterexamples"] == []
+
+
+class TestMc:
+    def test_full_protection_checks_clean_and_exhaustively(self, capsys):
+        code = main(["mc", "--machine", "micro", "--tp", "full",
+                     "--secrets", "0,1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "exhaustive over the reachable state space" in out
+
+    def test_no_pad_is_refuted_with_a_counterexample(self, capsys):
+        code = main(["mc", "--machine", "micro", "--tp", "no-pad"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL" in out
+        assert "counterexample" in out
+        assert "path:" in out
+
+    def test_json_format_round_trips(self, capsys):
+        code = main(["mc", "--machine", "micro", "--tp", "no-pad",
+                     "--secrets", "0,2", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["machine"] == "micro"
+        assert payload["tp"] == "no-pad"
+        assert payload["passed"] is False
+        assert payload["counterexamples"]
+        cex = payload["counterexamples"][0]
+        assert cex["depth"] == len(cex["path"])
+        assert cex["violations"]
+
+    def test_bad_secret_domain_exits_two(self, capsys):
+        assert main(["mc", "--secrets", "0"]) == 2
+        assert "two distinct secrets" in capsys.readouterr().err
+
+    def test_unknown_machine_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mc", "--machine", "bogus"])
+
 
 class TestChannels:
     def test_survey_reports_closed_channels(self, capsys):

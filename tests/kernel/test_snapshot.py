@@ -1,0 +1,82 @@
+"""Kernel snapshot/restore and the replayable-program protocol."""
+
+import pytest
+
+from repro.hardware import Access, Compute
+from repro.kernel.objects import ReplayableProgram
+from repro.mc import McSpec, build_system, state_fingerprint
+
+
+def _spec():
+    return McSpec.for_machine("micro", "full")
+
+
+class TestSnapshot:
+    def test_snapshot_is_independent_of_the_original(self):
+        spec = _spec()
+        kernel = build_system(spec, secret=1)
+        snap = kernel.snapshot()
+        before = state_fingerprint(snap)
+        for _ in range(4):
+            kernel.step(core_id=0, max_cycles=spec.max_cycles)
+        # The original moved; the snapshot must not have.
+        assert state_fingerprint(snap) == before
+        assert state_fingerprint(kernel) != before
+
+    def test_snapshot_resumes_identically(self):
+        spec = _spec()
+        kernel = build_system(spec, secret=1)
+        for _ in range(3):
+            kernel.step(core_id=0, max_cycles=spec.max_cycles)
+        snap = kernel.snapshot()
+        kernel.step(core_id=0, max_cycles=spec.max_cycles)
+        snap.step(core_id=0, max_cycles=spec.max_cycles)
+        assert state_fingerprint(snap) == state_fingerprint(kernel)
+
+    def test_raw_generator_programs_are_rejected_with_guidance(self):
+        from repro.campaign.registry import MACHINES, TP_CONFIGS
+        from repro.kernel import Kernel
+
+        def generator_program(ctx):
+            while True:
+                yield Compute(5)
+
+        kernel = Kernel(
+            MACHINES["micro"](), TP_CONFIGS["full"](), kernel_image_pages=8)
+        domain = kernel.create_domain("Hi", n_colours=1)
+        kernel.create_thread(domain, generator_program, data_pages=1)
+        with pytest.raises(TypeError, match="ReplayableProgram"):
+            kernel.snapshot()
+
+
+class TestReplayableProgram:
+    def test_follows_the_generator_protocol(self):
+        def step_fn(ctx, index, observation):
+            if index < 2:
+                return Access(index * 32)
+            return None
+
+        program = ReplayableProgram(step_fn, ctx=None)
+        first = program.send(None)
+        second = program.send(17)
+        assert isinstance(first, Access) and isinstance(second, Access)
+        assert program.index == 2
+        with pytest.raises(StopIteration):
+            program.send(None)
+        assert program.finished
+        # Exhausted programs stay exhausted, like generators.
+        with pytest.raises(StopIteration):
+            program.send(None)
+
+    def test_factory_binds_context(self):
+        seen = {}
+
+        def step_fn(ctx, index, observation):
+            seen["ctx"] = ctx
+            return None
+
+        factory = ReplayableProgram.factory(step_fn)
+        program = factory("the-context")
+        with pytest.raises(StopIteration):
+            next(iter(program))
+        assert seen["ctx"] == "the-context"
