@@ -1,0 +1,111 @@
+"""E14/E15 (engineering): attack-synthesis generation throughput.
+
+Not a paper experiment: this benchmarks the search subsystem that
+*discovers* timing channels (EXPERIMENTS.md E15) instead of replaying
+hand-written ones.  A budgeted seeded evolutionary run (initial
+population plus two mutate-and-select generations) executes on
+tiny/no-TP, counting simulated kernel steps through the same
+``on_kernel`` hook the attack benches use; the printed figures are
+evaluations per generation and simulated steps per host second.  The
+same generation is then re-evaluated through the campaign bridge's
+worker pool, which must reproduce the serial fitnesses bit-for-bit.
+
+Shape asserted: the budgeted search finds an open channel on tiny with
+TP off (MI above the estimator noise floor), the pool evaluator is
+deterministic against the serial one, and the canonical evolved
+witnesses close under full time protection.
+"""
+
+import time
+
+from repro.campaign.registry import MACHINES, TP_CONFIGS
+from repro.synth import (
+    CampaignEvaluator,
+    ChannelGuessEnv,
+    EvolutionSearch,
+    PRIME_PROBE_GENOME,
+    SearchConfig,
+    experiment,
+)
+
+from _common import CLOSED_BITS, OPEN_BITS, print_channel_table, run_once
+
+CONFIG = SearchConfig(generations=2, population=8, elite=2)
+
+
+def _make_env(tp: str) -> ChannelGuessEnv:
+    return ChannelGuessEnv(
+        machine="tiny", tp=tp, victim="set_hammer",
+        rounds_per_run=4, sweep_rounds=1,
+    )
+
+
+class _StepCounter:
+    def __init__(self):
+        self.steps = 0
+
+    def __call__(self, kernel):
+        self.steps += kernel.total_steps
+
+
+def _run_search(env, counter):
+    def counting_evaluator(genomes):
+        return [env.evaluate(g, on_kernel=counter) for g in genomes]
+
+    search = EvolutionSearch(env, CONFIG, seed=0, evaluator=counting_evaluator)
+    return search.run()
+
+
+def test_e14_synth_generation_throughput(benchmark, tmp_path):
+    env = _make_env("none")
+    counter = _StepCounter()
+
+    t0 = time.perf_counter()
+    report = run_once(benchmark, _run_search, env, counter)
+    wall_s = time.perf_counter() - t0
+
+    generations = len(report.history)
+    print(f"\n=== E14: synthesis throughput, {report.evaluations} evaluations ===")
+    print(f"{'metric':36s} {'value':>14s}")
+    print("-" * 52)
+    for label, value in (
+        ("generations run", f"{generations}"),
+        ("evaluations / generation", f"{report.evaluations / generations:.1f}"),
+        ("simulated kernel steps", f"{counter.steps}"),
+        ("steps / host second", f"{counter.steps / wall_s:,.0f}"),
+        ("champion MI (bits)", f"{report.champion.evaluation.mutual_information_bits:.3f}"),
+        ("noise floor (bits)", f"{report.noise_floor_bits:.3f}"),
+    ):
+        print(f"{label:36s} {value:>14s}")
+
+    # The budgeted search must discover an open channel with TP off.
+    assert report.found_channel()
+    assert report.evaluations >= CONFIG.population
+
+    # The campaign bridge's pool evaluator must reproduce the serial
+    # fitnesses bit-for-bit (same genomes, same env, same seeds).
+    genomes = [scored.genome for scored in report.discovered[:4]] or [
+        report.champion.genome
+    ]
+    serial = [env.evaluate(g) for g in genomes]
+    pool = CampaignEvaluator(
+        env, str(tmp_path / "e14-fitness.jsonl"), n_workers=2
+    )(genomes)
+    assert [e.fitness for e in pool] == [e.fitness for e in serial]
+    assert [e.mutual_information_bits for e in pool] == [
+        e.mutual_information_bits for e in serial
+    ]
+
+
+def test_e14_full_tp_closes_evolved_witness():
+    results = []
+    for tp_name in ("none", "full"):
+        result = experiment(
+            TP_CONFIGS[tp_name](), MACHINES["tiny"], PRIME_PROBE_GENOME,
+            victim="set_hammer", rounds_per_run=6, sweep_rounds=2,
+        )
+        results.append(result)
+    print_channel_table("E14: evolved prime+probe witness vs TP", results)
+    open_result, closed_result = results
+    assert open_result.capacity_bits() > OPEN_BITS
+    assert closed_result.capacity_bits() < CLOSED_BITS

@@ -13,6 +13,7 @@ from .capacity import (
     estimator_bias_bits,
     min_leakage,
     mutual_information,
+    mutual_information_from_samples,
     zero_leakage,
 )
 from .channel_matrix import ChannelMatrix, decode_accuracy, from_samples
@@ -35,6 +36,7 @@ __all__ = [
     "from_samples",
     "min_leakage",
     "mutual_information",
+    "mutual_information_from_samples",
     "pivot_records",
     "zero_leakage",
 ]

@@ -9,11 +9,11 @@ values (log2 of the number of distinguishable inputs).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .channel_matrix import ChannelMatrix
+from .channel_matrix import ChannelMatrix, from_samples
 
 _EPS = 1e-12
 
@@ -41,6 +41,21 @@ def mutual_information(
             np.where(joint > _EPS, joint / (px[:, None] * py[None, :] + _EPS), 1.0)
         )
     return float(np.sum(joint * log_term))
+
+
+def mutual_information_from_samples(
+    samples: Sequence[Tuple[Hashable, Hashable]],
+    input_dist: Optional[Sequence[float]] = None,
+) -> float:
+    """I(X;Y) in bits straight from ``(symbol, observation)`` samples.
+
+    The one sample-level MI entry point of the package: the attack
+    harness (:meth:`repro.attacks.harness.ChannelResult
+    .mutual_information_bits`), the synth env's fitness signal and the
+    campaign reports all call this, so a genome's fitness can never
+    disagree with what the campaign later reports for the same samples.
+    """
+    return mutual_information(from_samples(samples), input_dist)
 
 
 def blahut_arimoto(

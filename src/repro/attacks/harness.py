@@ -19,7 +19,7 @@ from ..analysis import (
     decode_accuracy,
     from_samples,
     min_leakage,
-    mutual_information,
+    mutual_information_from_samples,
 )
 
 
@@ -40,7 +40,9 @@ class ChannelResult:
         return capacity_bits(self.matrix())
 
     def mutual_information_bits(self) -> float:
-        return mutual_information(self.matrix())
+        # Same sample-level estimator the analysis layer and the synth
+        # env fitness use -- one MI implementation package-wide.
+        return mutual_information_from_samples(self.samples)
 
     def min_leakage_bits(self) -> float:
         return min_leakage(self.matrix())

@@ -116,6 +116,31 @@ def _run_mc_tiny():
     return _run_mc("tiny")
 
 
+def _run_synth_generation():
+    # E14/E15 synthesis throughput: one seeded evolutionary generation
+    # (initial population + one mutate-and-select round) on tiny with TP
+    # off.  The unit is simulated kernel steps, counted through the same
+    # ``on_kernel`` hook as the attack benches, so ns/op stays comparable
+    # across scenarios; evaluations/generation rides along as a side
+    # metric.  Fixed seed => fixed genomes => fixed simulated work.
+    from ..synth import ChannelGuessEnv, EvolutionSearch, SearchConfig
+
+    counter = _StepCounter()
+    env = ChannelGuessEnv(
+        machine="tiny", tp="none", victim="set_hammer",
+        rounds_per_run=4, sweep_rounds=1,
+    )
+
+    def counting_evaluator(genomes):
+        return [env.evaluate(genome, on_kernel=counter) for genome in genomes]
+
+    config = SearchConfig(generations=1, population=6, elite=2)
+    report = EvolutionSearch(
+        env, config, seed=0, evaluator=counting_evaluator
+    ).run()
+    return counter.steps, {"evaluations": report.evaluations}
+
+
 def _run_e5_switch_latency() -> int:
     counter = _StepCounter()
     for tp in _both_tp_configs():
@@ -151,6 +176,11 @@ SCENARIOS: Dict[str, Scenario] = {
             "e5_switch_latency",
             "dirty-line switch-latency channel on tiny, tp none+full",
             _run_e5_switch_latency,
+        ),
+        Scenario(
+            "synth_generation",
+            "one evolutionary generation of attack synthesis on tiny, tp none",
+            _run_synth_generation,
         ),
         Scenario(
             "mc_micro",

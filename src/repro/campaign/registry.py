@@ -76,6 +76,18 @@ class AttackEntry:
         return self.runner(tp, machine_factory, **merged)
 
 
+def _synth_experiment(tp, machine_factory, **params):
+    """Evolved-genome attack: the genome itself rides in ``params``.
+
+    Imported lazily so this registry stays importable without pulling in
+    the synth package (which itself imports the registry).
+    """
+    from ..synth.runner import PRIME_PROBE_GENOME, experiment
+
+    params.setdefault("genome", PRIME_PROBE_GENOME.to_dict())
+    return experiment(tp, machine_factory, **params)
+
+
 ATTACKS: Dict[str, AttackEntry] = {
     "e1": AttackEntry(
         "downgrader event-timing channel", event_timing.experiment
@@ -109,6 +121,11 @@ ATTACKS: Dict[str, AttackEntry] = {
         "cache occupancy channel",
         occupancy.experiment,
         {"symbols": (1, 8), "rounds_per_run": 5},
+    ),
+    "synth": AttackEntry(
+        "search-evolved attack genome (see repro.synth)",
+        _synth_experiment,
+        {"victim": "set_hammer"},
     ),
 }
 

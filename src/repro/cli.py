@@ -1,6 +1,6 @@
 """CLI: prove, model-check, survey channels, inspect, campaigns, lint, bench.
 
-Seven subcommands::
+Eight subcommands::
 
     repro-tp prove    [--machine M] [--tp T] [--secrets 1,7,23]
                       [--format text|json]
@@ -10,7 +10,10 @@ Seven subcommands::
     repro-tp inspect  [--machine M]
     repro-tp campaign [--machines M1,M2] [--tps T1,T2] [--attacks A1,A2]
                       [--seeds 0,1] [--workers N] [--store results.jsonl]
-                      [--instrumentation full|counting]
+                      [--instrumentation full|counting] [--genomes FILE]
+    repro-tp synth    [--machine M] [--tp T] [--victim V] [--generations N]
+                      [--population N] [--seed N] [--jobs N] [--save FILE]
+                      [--threshold BITS] [--format text|json]
     repro-tp lint     [paths ...] [--format text|json] [--baseline FILE]
     repro-tp bench    [--record | --compare] [--benches B1,B2]
                       [--repeats N] [--tolerance F] [--file PATH]
@@ -25,7 +28,12 @@ configuration.  ``inspect`` extracts and prints the abstract hardware
 model (Sect. 5.1) of a machine.  ``campaign`` fans a whole (machine ×
 tp × attack × seed) grid out over a worker pool, appends one JSONL
 record per trial, resumes past completed trials on re-run, and prints
-the (machine × tp) channel-capacity matrix.  ``lint`` runs the static
+the (machine × tp) channel-capacity matrix; ``--genomes`` registers
+evolved genomes from a saved file as extra attacks for the grid.
+``synth`` runs the evolutionary attack search against the chosen
+machine/TP configuration: exit 0 when no channel above the threshold
+was found (time protection held against the search), 1 when the search
+discovered one.  ``lint`` runs the static
 conformance analyzer (``repro.statcheck``) over the source tree: exit 0
 clean, 1 findings, 2 internal/configuration error.  ``bench`` runs the
 throughput scenarios: ``--record`` writes the per-host
@@ -222,6 +230,17 @@ def cmd_campaign(args) -> int:
     )
     from .campaign.registry import ATTACKS
 
+    genome_attacks = ()
+    if args.genomes:
+        from .synth import register_saved
+
+        try:
+            genome_attacks = tuple(register_saved(args.genomes))
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot load genomes {args.genomes!r}: {error}",
+                  file=sys.stderr)
+            return 2
+
     if args.spec:
         try:
             spec = CampaignSpec.from_json_file(args.spec)
@@ -230,10 +249,13 @@ def cmd_campaign(args) -> int:
                   file=sys.stderr)
             return 2
     else:
+        attacks = tuple(a.strip() for a in args.attacks.split(",") if a.strip())
+        # Evolved genomes sweep the same grid as the named attacks.
+        attacks += tuple(a for a in genome_attacks if a not in attacks)
         spec = CampaignSpec(
             machines=tuple(m.strip() for m in args.machines.split(",") if m.strip()),
             tps=tuple(t.strip() for t in args.tps.split(",") if t.strip()),
-            attacks=tuple(a.strip() for a in args.attacks.split(",") if a.strip()),
+            attacks=attacks,
             seeds=tuple(int(s) for s in args.seeds.split(",") if s.strip()),
             instrumentation=args.instrumentation,
         )
@@ -263,6 +285,95 @@ def cmd_campaign(args) -> int:
         print()
         print(capacity_matrix(store.records()))
     return 0 if report.all_ok else 1
+
+
+def cmd_synth(args) -> int:
+    import json as _json
+
+    from .synth import (
+        CampaignEvaluator,
+        ChannelGuessEnv,
+        EvolutionSearch,
+        SearchConfig,
+        save_genomes,
+    )
+
+    symbols = tuple(
+        int(s) for s in args.symbols.split(",") if s.strip()
+    ) if args.symbols else None
+    try:
+        env = ChannelGuessEnv(
+            machine=args.machine,
+            tp=args.tp,
+            victim=args.victim,
+            symbols=symbols,
+            rounds_per_run=args.rounds,
+            sweep_rounds=args.sweep_rounds,
+            seed=args.seed,
+        )
+    except KeyError as error:
+        print(f"invalid synth environment: {error}", file=sys.stderr)
+        return 2
+    threshold = (
+        args.threshold if args.threshold >= 0 else env.noise_floor_bits()
+    )
+    config = SearchConfig(
+        generations=args.generations,
+        population=args.population,
+        target_bits=args.target_bits if args.target_bits > 0 else None,
+    )
+    evaluator = None
+    if args.jobs > 1:
+        evaluator = CampaignEvaluator(
+            env, args.store, n_workers=args.jobs, seed=args.seed
+        )
+    text = args.format == "text"
+    log = print if text and not args.quiet else None
+    search = EvolutionSearch(
+        env, config, seed=args.seed, evaluator=evaluator, log=log
+    )
+    report = search.run()
+    found = report.found_channel(threshold)
+
+    if args.save:
+        ranked = [report.champion] + [
+            s for s in report.discovered if s.genome != report.champion.genome
+        ]
+        save_genomes(
+            args.save, ranked, env=env,
+            metadata={"seed": args.seed, "threshold_bits": threshold},
+        )
+
+    if text:
+        champion = report.champion
+        stats = champion.evaluation
+        print(
+            f"synth [{args.machine}/{args.tp}] victim={args.victim}: "
+            f"{report.evaluations} evaluations, "
+            f"{len(report.discovered)} genome(s) above the noise floor"
+        )
+        print(
+            f"champion (gen {champion.generation}): "
+            f"MI={stats.mutual_information_bits:.3f} bits, "
+            f"capacity={stats.capacity_bits:.3f} bits, "
+            f"accuracy={stats.accuracy:.2f}, "
+            f"genes={[gene.kind for gene in champion.genome.ops]}"
+        )
+        verdict = (
+            f"CHANNEL FOUND above {threshold:.3f} bits"
+            if found
+            else f"no channel above {threshold:.3f} bits"
+        )
+        print(f"verdict: {verdict}")
+    else:
+        print(_json.dumps({
+            "env": env.spec(),
+            "seed": args.seed,
+            "threshold_bits": threshold,
+            "found_channel": found,
+            "report": report.to_record(),
+        }, indent=2, sort_keys=True))
+    return 1 if found else 0
 
 
 def cmd_lint(args) -> int:
@@ -414,7 +525,48 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the capacity-matrix summary table")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-trial progress lines")
+    campaign.add_argument("--genomes", default="",
+                          help="saved genome file (repro-tp synth --save); "
+                               "registers each genome as an extra attack "
+                               "and adds it to the grid")
     campaign.set_defaults(func=cmd_campaign)
+
+    synth = subparsers.add_parser(
+        "synth",
+        help="evolve attack programs that search the machine for channels",
+    )
+    synth.add_argument("--machine", choices=sorted(MACHINES), default="tiny")
+    synth.add_argument("--tp", choices=sorted(TP_CONFIGS), default="full")
+    synth.add_argument("--victim", default="set_hammer",
+                       help="secret-dependent victim program (see "
+                            "repro.synth.victims.VICTIMS)")
+    synth.add_argument("--symbols", default="",
+                       help="comma-separated symbol alphabet "
+                            "(default: the victim's)")
+    synth.add_argument("--generations", type=int, default=8)
+    synth.add_argument("--population", type=int, default=16)
+    synth.add_argument("--rounds", type=int, default=6,
+                       help="spy rounds per run (samples per symbol)")
+    synth.add_argument("--sweep-rounds", type=int, default=2,
+                       help="full alphabet sweeps per evaluation")
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--jobs", type=int, default=1,
+                       help="campaign-pool workers per generation "
+                            "(1 = in-process serial)")
+    synth.add_argument("--store", default="synth_fitness.jsonl",
+                       help="JSONL fitness cache for --jobs > 1")
+    synth.add_argument("--threshold", type=float, default=-1.0,
+                       help="open-channel verdict threshold in bits "
+                            "(default: the estimator noise floor)")
+    synth.add_argument("--target-bits", type=float, default=0.0,
+                       help="stop early once champion MI clears this "
+                            "(0 = run all generations)")
+    synth.add_argument("--save", default="",
+                       help="write discovered genomes to this JSON file")
+    synth.add_argument("--quiet", action="store_true",
+                       help="suppress per-generation progress lines")
+    synth.add_argument("--format", choices=("text", "json"), default="text")
+    synth.set_defaults(func=cmd_synth)
 
     lint = subparsers.add_parser(
         "lint",

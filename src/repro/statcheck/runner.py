@@ -36,9 +36,14 @@ _SCOPE_SEGMENTS = {
     "SC-1": {"hardware"},
     # The model checker is in SC-2 scope: fingerprints and exploration
     # order must be deterministic across processes (frontier sharding
-    # hands states to fork workers by hash).
-    "SC-2": {"hardware", "kernel", "core", "campaign", "mc"},
-    "SC-3": {"hardware", "core"},
+    # hands states to fork workers by hash).  So is the synth search: an
+    # unseeded RNG anywhere in the evolution loop silently breaks
+    # same-seed reproducibility of discovered attacks.
+    "SC-2": {"hardware", "kernel", "core", "campaign", "mc", "synth"},
+    # Synth is in SC-3 scope too: genome primitives observe hardware
+    # through timed accesses, and any state element a genome-built
+    # victim or spy constructs must be registered and enumerated.
+    "SC-3": {"hardware", "core", "synth"},
 }
 
 

@@ -1,0 +1,67 @@
+"""Search-driven attack synthesis (ROADMAP item 1).
+
+The hand-written attack suite (``repro.attacks``) can only confirm time
+protection against channels someone already thought of.  This subsystem
+turns the attacker into a *search*: a small typed DSL of probe
+primitives (:mod:`repro.synth.genome`) compiles to replayable spy
+programs, a gym-style guessing game (:mod:`repro.synth.env`) scores them
+against a secret-dependent victim, and a seeded evolutionary loop
+(:mod:`repro.synth.search`) mutates and selects genomes by the measured
+mutual information of the channel they open.  Winning genomes are
+promoted to first-class campaign attacks (:mod:`repro.synth.bridge`), so
+"TP holds" comes to mean "the search found nothing", not "none of our
+five scripts worked".
+"""
+
+from .bridge import (
+    CampaignEvaluator,
+    load_genomes,
+    register_discovered,
+    register_saved,
+    save_genomes,
+)
+from .env import ChannelGuessEnv, EpisodeEvaluation
+from .genome import (
+    FAMILIES,
+    Genome,
+    classify,
+    crossover,
+    mutate,
+    random_genome,
+    validate_genome,
+)
+from .runner import PREFETCH_RESIDUE_GENOME, PRIME_PROBE_GENOME, experiment
+from .search import (
+    EvolutionSearch,
+    FamilyBandit,
+    SearchConfig,
+    SearchReport,
+    fitness_from_stats,
+)
+from .victims import VICTIMS
+
+__all__ = [
+    "CampaignEvaluator",
+    "ChannelGuessEnv",
+    "EpisodeEvaluation",
+    "EvolutionSearch",
+    "FAMILIES",
+    "FamilyBandit",
+    "Genome",
+    "PREFETCH_RESIDUE_GENOME",
+    "PRIME_PROBE_GENOME",
+    "SearchConfig",
+    "SearchReport",
+    "VICTIMS",
+    "classify",
+    "crossover",
+    "experiment",
+    "fitness_from_stats",
+    "load_genomes",
+    "mutate",
+    "random_genome",
+    "register_discovered",
+    "register_saved",
+    "save_genomes",
+    "validate_genome",
+]

@@ -1,0 +1,202 @@
+"""Per-element counter evidence: *which* hardware state carries a channel.
+
+An evolved genome claiming a "new" channel needs more than nonzero
+mutual information -- it needs attribution.  This module runs a program
+(evolved genome or hand-written registry attack) once per symbol under
+``CountingInstrumentation`` and asks, per ``(domain, element)`` counter,
+whether the count observed *in the spy's domain* depends on the secret.
+Elements whose spy-side counts vary across symbols are the state the
+channel flows through; comparing an evolved genome's sensitive-element
+set against every attack in ``repro.attacks`` is what certifies novelty
+("this genome modulates ``core0.prefetcher`` through the spy's timing;
+no hand-written attack does").
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..campaign.registry import ATTACKS
+from ..kernel.timeprotect import TimeProtectionConfig
+from .genome import Genome
+from .runner import experiment
+
+#: One per-symbol counter profile: (domain, element) -> touch count.
+CounterProfile = Dict[Tuple[Optional[str], str], int]
+
+
+def ablate_prefetcher(machine_factory: Callable) -> Callable:
+    """Machine factory with every core's stride prefetcher disabled.
+
+    Setting ``degree = 0`` makes ``observe`` never issue prefetches while
+    leaving the element registered, enumerated and flushed exactly as
+    before -- so re-running a program on the ablated machine isolates the
+    capacity that flows *through* the prefetcher.  Counter sensitivity
+    alone cannot attribute a channel to the prefetcher (any program whose
+    L1 miss count is secret-dependent perturbs the prefetcher's touch
+    count incidentally); an evolved genome claims the prefetcher channel
+    iff its capacity drops under ablation while every hand-written
+    attack's trace is bit-identical.
+    """
+
+    def build():
+        machine = machine_factory()
+        for core in machine.cores:
+            core.prefetcher.degree = 0
+        return machine
+
+    return build
+
+
+def genome_counter_profiles(
+    tp: TimeProtectionConfig,
+    machine_factory: Callable,
+    genome: Union[Genome, dict],
+    victim: str,
+    symbols: Sequence[int],
+    rounds_per_run: int = 4,
+    **runner_kwargs,
+) -> Dict[int, CounterProfile]:
+    """Per-symbol aggregate touch counts for one genome run.
+
+    Extra keyword arguments (``victim_params``, ``data_pages``, ...) are
+    forwarded to :func:`repro.synth.runner.experiment` so genomes tuned
+    against a specific allocation layout profile under that same layout.
+    """
+    counting = replace(tp, instrumentation="counting")
+    profiles: Dict[int, CounterProfile] = {}
+
+    def run_symbol(symbol: int) -> None:
+        captured: List[CounterProfile] = []
+        experiment(
+            counting,
+            machine_factory,
+            genome,
+            victim=victim,
+            symbols=(symbol,),
+            rounds_per_run=rounds_per_run,
+            on_kernel=lambda kernel: captured.append(
+                dict(kernel.machine.instrumentation.touch_counts())
+            ),
+            **runner_kwargs,
+        )
+        profiles[symbol] = captured[-1] if captured else {}
+
+    for symbol in symbols:
+        run_symbol(symbol)
+    return profiles
+
+
+def attack_counter_profiles(
+    tp: TimeProtectionConfig,
+    machine_factory: Callable,
+    attack: str,
+    symbols: Optional[Sequence[int]] = None,
+) -> Dict[int, CounterProfile]:
+    """Per-symbol touch counts for a hand-written registry attack.
+
+    Attacks whose experiment functions expose no ``on_kernel`` hook are
+    profiled from a single all-symbols run instead (one profile shared
+    by every symbol: maximally conservative for novelty -- every element
+    the attack touches at all is credited to it).
+    """
+    entry = ATTACKS[attack]
+    counting = replace(tp, instrumentation="counting")
+    params = dict(entry.defaults)
+    accepts = inspect.signature(entry.runner).parameters
+    if symbols is not None and "symbols" in accepts:
+        params["symbols"] = tuple(symbols)
+    sweep_symbols = tuple(params.get("symbols", symbols or ()))
+
+    if "on_kernel" not in accepts:
+        return {symbol: {} for symbol in sweep_symbols} if sweep_symbols else {}
+
+    if sweep_symbols and "symbols" in accepts:
+        profiles: Dict[int, CounterProfile] = {}
+        for symbol in sweep_symbols:
+            captured: List[CounterProfile] = []
+            per_symbol = dict(params)
+            per_symbol["symbols"] = (symbol,)
+            per_symbol["on_kernel"] = lambda kernel: captured.append(
+                dict(kernel.machine.instrumentation.touch_counts())
+            )
+            entry.runner(counting, machine_factory, **per_symbol)
+            profiles[symbol] = captured[-1] if captured else {}
+        return profiles
+
+    captured: List[CounterProfile] = []
+    params["on_kernel"] = lambda kernel: captured.append(
+        dict(kernel.machine.instrumentation.touch_counts())
+    )
+    entry.runner(counting, machine_factory, **params)
+    profile = captured[-1] if captured else {}
+    return {0: profile}
+
+
+def touched_elements(
+    profiles: Dict[int, CounterProfile],
+    domain: Optional[str] = None,
+) -> Set[str]:
+    """Every element with a nonzero count (optionally in one domain)."""
+    out: Set[str] = set()
+    for profile in profiles.values():
+        for (dom, element), count in profile.items():
+            if count > 0 and (domain is None or dom == domain):
+                out.add(element)
+    return out
+
+
+def sensitive_elements(
+    profiles: Dict[int, CounterProfile],
+    domain: Optional[str] = "Lo",
+) -> Dict[str, Tuple[int, int]]:
+    """Elements whose counts in ``domain`` *vary with the secret*.
+
+    Returns ``element -> (min_count, max_count)`` across symbols, for
+    elements where the two differ.  A secret-sensitive spy-side count is
+    direct counter evidence that victim state modulated the spy's
+    execution through that element.
+    """
+    per_element: Dict[str, List[int]] = {}
+    for profile in profiles.values():
+        seen: Dict[str, int] = {}
+        for (dom, element), count in profile.items():
+            if domain is None or dom == domain:
+                seen[element] = seen.get(element, 0) + count
+        for element in sorted(set(per_element) | set(seen)):
+            per_element.setdefault(element, []).append(seen.get(element, 0))
+    # Backfill zeros for elements absent from earlier profiles.
+    n = len(profiles)
+    out: Dict[str, Tuple[int, int]] = {}
+    for element, counts in per_element.items():
+        counts = counts + [0] * (n - len(counts))
+        lo, hi = min(counts), max(counts)
+        if lo != hi:
+            out[element] = (lo, hi)
+    return out
+
+
+def novel_elements(
+    genome_profiles: Dict[int, CounterProfile],
+    attack_profiles: Dict[str, Dict[int, CounterProfile]],
+    domain: Optional[str] = "Lo",
+) -> Dict[str, Tuple[int, int]]:
+    """Secret-sensitive spy-side elements no reference attack touches.
+
+    ``attack_profiles`` maps attack name -> its per-symbol profiles; an
+    element counts as novel only if *no* reference attack touches it in
+    any domain (the conservative criterion from the issue's acceptance
+    test).
+    """
+    claimed: Set[str] = set()
+    for profiles in attack_profiles.values():
+        claimed |= touched_elements(profiles, domain=None)
+    return {
+        element: spread
+        for element, spread in sensitive_elements(
+            genome_profiles, domain=domain
+        ).items()
+        if element not in claimed
+    }

@@ -222,3 +222,114 @@ class TestLint:
         assert payload["findings"] == []
         assert len(payload["suppressed"]) == 8
         assert payload["summary"] == {"SC-1": 0, "SC-2": 0, "SC-3": 0}
+
+
+#: Minimal search budget: initial population plus one generation is
+#: enough for a random population to find the open tiny/no-TP channel
+#: (seed pinned), and finishes in seconds.
+SYNTH_FAST = [
+    "--generations", "1", "--population", "4",
+    "--rounds", "4", "--sweep-rounds", "1", "--seed", "7",
+]
+
+
+class TestSynth:
+    """Exit-code contract: 0 = no channel found (TP held against the
+    search), 1 = channel discovered, 2 = bad environment."""
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["synth"])
+        assert args.machine == "tiny"
+        assert args.tp == "full"
+        assert args.victim == "set_hammer"
+        assert args.jobs == 1
+
+    def test_open_machine_finds_channel_and_exits_one(self, tmp_path, capsys):
+        code = main([
+            "synth", "--machine", "tiny", "--tp", "none", *SYNTH_FAST,
+            "--store", str(tmp_path / "fit.jsonl"), "--quiet",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CHANNEL FOUND above" in out
+        assert "champion (gen " in out
+
+    def test_full_tp_holds_and_exits_zero(self, tmp_path, capsys):
+        code = main([
+            "synth", "--machine", "tiny", "--tp", "full", *SYNTH_FAST,
+            "--store", str(tmp_path / "fit.jsonl"), "--quiet",
+        ])
+        assert code == 0
+        assert "no channel above" in capsys.readouterr().out
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        code = main([
+            "synth", "--machine", "tiny", "--tp", "none", *SYNTH_FAST,
+            "--store", str(tmp_path / "fit.jsonl"), "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["found_channel"] is True
+        assert payload["env"]["machine"] == "tiny"
+        assert payload["env"]["tp"] == "none"
+        champion = payload["report"]["champion"]
+        assert champion["mutual_information_bits"] > payload["threshold_bits"]
+        assert champion["genome"]["ops"]
+        assert payload["report"]["history"]
+
+    def test_save_writes_loadable_genomes(self, tmp_path, capsys):
+        from repro.synth import load_genomes
+
+        path = tmp_path / "genomes.json"
+        code = main([
+            "synth", "--machine", "tiny", "--tp", "none", *SYNTH_FAST,
+            "--store", str(tmp_path / "fit.jsonl"),
+            "--save", str(path), "--quiet",
+        ])
+        assert code == 1
+        records = load_genomes(path)
+        assert records
+        assert records[0]["genome"]["ops"]
+        assert records[0]["env"]["machine"] == "tiny"
+        assert records[0]["env"]["tp"] == "none"
+
+    def test_campaign_sweeps_saved_genomes(self, tmp_path, capsys):
+        from repro.campaign.registry import ATTACKS, unregister_attack
+        from repro.synth import PRIME_PROBE_GENOME, save_genomes
+        from repro.synth.env import ChannelGuessEnv
+
+        path = tmp_path / "genomes.json"
+        env = ChannelGuessEnv(machine="tiny", tp="none", victim="set_hammer",
+                              rounds_per_run=4, sweep_rounds=1)
+        save_genomes(path, [PRIME_PROBE_GENOME], env=env)
+        try:
+            code = main([
+                "campaign", "--genomes", str(path),
+                "--machines", "tiny", "--tps", "none", "--attacks", "",
+                "--seeds", "0", "--workers", "1", "--quiet",
+                "--store", str(tmp_path / "campaign.jsonl"),
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "1 trial(s)" in out and "1 ok" in out
+            store_lines = (tmp_path / "campaign.jsonl").read_text().splitlines()
+            records = [json.loads(line) for line in store_lines]
+            assert any(
+                r["attack"] == "synth-0" and r["status"] == "ok"
+                for r in records
+            )
+        finally:
+            if "synth-0" in ATTACKS:
+                unregister_attack("synth-0")
+
+    def test_bad_genome_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"version\": 99, \"genomes\": []}")
+        code = main(["campaign", "--genomes", str(bad)])
+        assert code == 2
+        assert "cannot load genomes" in capsys.readouterr().err
+
+    def test_bad_victim_exits_two(self, capsys):
+        code = main(["synth", "--victim", "bogus", *SYNTH_FAST])
+        assert code == 2
+        assert "invalid synth environment" in capsys.readouterr().err

@@ -1,0 +1,182 @@
+"""Property tests for the genome DSL: the search's type-safety contract.
+
+The evolutionary search assumes it can serialize, mutate and cross any
+well-typed genome without ever producing an ill-typed one -- a single
+``GenomeError`` mid-generation would abort a whole search.  Hypothesis
+pins that contract: round-trip identity, closure of mutate/crossover
+over well-typed genomes, and total compilation on any plausible layout.
+"""
+
+import random
+from dataclasses import fields
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.isa import ProgramContext
+from repro.synth.genome import (
+    DECODERS,
+    FAMILIES,
+    FIELD_BOUNDS,
+    GENE_TYPES,
+    MAX_OPS,
+    MAX_PLAN_OPS,
+    Genome,
+    classify,
+    compile_plan,
+    crossover,
+    decode_feature,
+    genome_step,
+    mutate,
+    random_genome,
+    validate_genome,
+)
+
+
+def _gene_strategy(gene_cls):
+    values = {}
+    for f in fields(gene_cls):
+        if f.name == "write":
+            values[f.name] = st.booleans()
+        else:
+            low, high = FIELD_BOUNDS[f.name]
+            values[f.name] = st.integers(min_value=low, max_value=high)
+    return st.builds(gene_cls, **values)
+
+
+genes = st.one_of([_gene_strategy(cls) for cls in GENE_TYPES])
+genomes = st.builds(
+    Genome,
+    ops=st.lists(genes, min_size=1, max_size=MAX_OPS).map(tuple),
+    decoder=st.sampled_from(DECODERS),
+    bin_width=st.integers(*FIELD_BOUNDS["bin_width"]),
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def tiny_ctx(params=None):
+    return ProgramContext(
+        data_base=0x0100_0000,
+        data_size=6 * 256,
+        code_base=0x0040_0000,
+        page_size=256,
+        line_size=32,
+        shared_text_base=0x00F0_0000,
+        shared_text_size=40 * 32,
+        params=params if params is not None else {},
+    )
+
+
+class TestRoundTrip:
+    @given(genomes)
+    @settings(max_examples=120, deadline=None)
+    def test_serialize_deserialize_is_identity(self, genome):
+        assert Genome.from_dict(genome.to_dict()) == genome
+
+    @given(genomes)
+    @settings(max_examples=60, deadline=None)
+    def test_dict_form_is_json_plain(self, genome):
+        import json
+
+        assert Genome.from_dict(
+            json.loads(json.dumps(genome.to_dict()))
+        ) == genome
+
+
+class TestClosure:
+    @given(genomes, seeds, st.sampled_from((None,) + FAMILIES))
+    @settings(max_examples=120, deadline=None)
+    def test_mutate_always_well_typed(self, genome, seed, family):
+        child, touched = mutate(genome, random.Random(seed), family)
+        validate_genome(child)  # raises on violation
+        assert touched in FAMILIES
+
+    @given(genomes, genomes, seeds)
+    @settings(max_examples=120, deadline=None)
+    def test_crossover_always_well_typed(self, a, b, seed):
+        child = crossover(a, b, random.Random(seed))
+        validate_genome(child)
+        assert 1 <= len(child.ops) <= MAX_OPS
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_random_genome_well_typed(self, seed):
+        genome = random_genome(random.Random(seed))
+        validate_genome(genome)
+
+    @given(genomes, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_mutation_chains_stay_well_typed(self, genome, seed):
+        rng = random.Random(seed)
+        for _ in range(8):
+            genome, _family = mutate(genome, rng)
+        validate_genome(genome)
+
+
+class TestCompile:
+    @given(genomes)
+    @settings(max_examples=120, deadline=None)
+    def test_any_genome_compiles_and_is_bounded(self, genome):
+        plan = compile_plan(genome.to_dict(), tiny_ctx())
+        assert len(plan) <= MAX_PLAN_OPS
+        ctx = tiny_ctx()
+        for op in plan:
+            if op[0] == "acc" or op[0] == "fl":
+                addr = op[1]
+                in_data = (
+                    ctx.data_base <= addr < ctx.data_base + ctx.data_size
+                )
+                in_text = (
+                    ctx.shared_text_base
+                    <= addr
+                    < ctx.shared_text_base + ctx.shared_text_size
+                )
+                assert in_data or in_text, hex(addr)
+
+    @given(genomes)
+    @settings(max_examples=40, deadline=None)
+    def test_step_function_is_pure_in_ctx_params(self, genome):
+        # Two independent runs of the interpreter over the same genome
+        # must request identical instruction streams (no hidden state
+        # outside ctx.params -- the snapshot/replay contract).
+        streams = []
+        for _ in range(2):
+            params = {"genome": genome.to_dict(), "results": [], "rounds": 2}
+            ctx = tiny_ctx(params)
+            stream = []
+
+            class _Obs:
+                value = 0
+                latency = 0
+
+            for index in range(64):
+                instruction = genome_step(ctx, index, _Obs())
+                if instruction is None:
+                    break
+                stream.append(repr(instruction))
+            streams.append(stream)
+        assert streams[0] == streams[1]
+
+
+class TestDecoders:
+    def test_argmax_argmin_bins(self):
+        vec = [10, 40, 20]
+        assert decode_feature("argmax", 16, vec) == 1
+        assert decode_feature("argmin", 16, vec) == 0
+        assert decode_feature("bins", 16, vec) == (0, 2, 1)
+
+    def test_empty_vector_decodes_to_constant(self):
+        assert decode_feature("bins", 16, []) == 0
+
+
+class TestClassify:
+    @given(genomes)
+    @settings(max_examples=60, deadline=None)
+    def test_labels_are_structural(self, genome):
+        labels = classify(genome)
+        kinds = {gene.kind for gene in genome.ops}
+        assert ("prime+probe" in labels) == (
+            "timed" in kinds and "touch" in kinds
+        )
+        assert ("flush+reload" in labels) == (
+            "flush" in kinds and "text" in kinds
+        )

@@ -1,0 +1,175 @@
+"""EvolutionSearch: seeded determinism, bandit behaviour, early stop.
+
+These tests run against a *stub* evaluator (a fitness function over
+genome structure), so they exercise the whole search loop in
+milliseconds without building machines.  Real-channel searches live in
+``test_rediscovery.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.synth import (
+    ChannelGuessEnv,
+    EvolutionSearch,
+    FamilyBandit,
+    SearchConfig,
+)
+from repro.synth.env import EpisodeEvaluation
+from repro.synth.genome import Genome, TimedSweep, YieldToVictim
+
+
+def stub_evaluator(score_fn):
+    """BatchEvaluator scoring genomes with a pure structural function."""
+
+    def evaluate(genomes):
+        out = []
+        for genome in genomes:
+            genome = genome if isinstance(genome, Genome) else Genome.from_dict(genome)
+            fitness = score_fn(genome)
+            out.append(
+                EpisodeEvaluation(
+                    result=None,
+                    fitness=fitness,
+                    mutual_information_bits=max(0.0, fitness),
+                    capacity_bits=max(0.0, fitness),
+                    accuracy=0.0,
+                )
+            )
+        return out
+
+    return evaluate
+
+
+def prefers_timed(genome):
+    """Toy landscape: timed probes good, clutter bad."""
+    families = genome.families()
+    return (
+        1.0 * families.count("timed")
+        + 0.25 * families.count("wait")
+        - 0.05 * len(families)
+    )
+
+
+def make_env(**overrides):
+    kwargs = dict(machine="tiny", tp="none", victim="set_hammer",
+                  rounds_per_run=4, sweep_rounds=1)
+    kwargs.update(overrides)
+    return ChannelGuessEnv(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_trajectory(self):
+        reports = []
+        for _ in range(2):
+            search = EvolutionSearch(
+                make_env(),
+                SearchConfig(generations=5, population=10, elite=2),
+                seed=42,
+                evaluator=stub_evaluator(prefers_timed),
+            )
+            reports.append(search.run())
+        a, b = reports
+        assert a.champion.genome == b.champion.genome
+        assert a.history == b.history
+        assert a.bandit == b.bandit
+        assert [s.genome for s in a.discovered] == [
+            s.genome for s in b.discovered
+        ]
+
+    def test_different_seeds_diverge(self):
+        champions = set()
+        for seed in range(4):
+            search = EvolutionSearch(
+                make_env(),
+                SearchConfig(generations=3, population=8),
+                seed=seed,
+                evaluator=stub_evaluator(prefers_timed),
+            )
+            champions.add(repr(search.run().champion.genome.to_dict()))
+        assert len(champions) > 1
+
+
+class TestSelectionPressure:
+    def test_fitness_climbs_on_toy_landscape(self):
+        search = EvolutionSearch(
+            make_env(),
+            SearchConfig(generations=10, population=12, elite=2),
+            seed=0,
+            evaluator=stub_evaluator(prefers_timed),
+        )
+        report = search.run()
+        assert report.history[-1]["best_fitness"] > report.history[0]["best_fitness"]
+        assert "timed" in report.champion.genome.families()
+
+    def test_bandit_concentrates_on_paying_family(self):
+        search = EvolutionSearch(
+            make_env(),
+            SearchConfig(generations=12, population=12, bandit_epsilon=0.1),
+            seed=3,
+            evaluator=stub_evaluator(prefers_timed),
+        )
+        report = search.run()
+        pulls = {f: v["pulls"] for f, v in report.bandit.items()}
+        # The paying family must be pulled at least as often as the
+        # median family once means have converged.
+        assert pulls["timed"] >= sorted(pulls.values())[len(pulls) // 2]
+
+    def test_seed_genomes_survive_elitism(self):
+        seeded = Genome(
+            ops=(YieldToVictim(), TimedSweep(count=8)), decoder="bins",
+            bin_width=8,
+        )
+        search = EvolutionSearch(
+            make_env(),
+            SearchConfig(
+                generations=3, population=8, elite=2, seed_genomes=(seeded,)
+            ),
+            seed=1,
+            evaluator=stub_evaluator(prefers_timed),
+        )
+        report = search.run()
+        assert report.champion.fitness >= prefers_timed(seeded)
+
+
+class TestEarlyStop:
+    def test_target_bits_stops_search(self):
+        calls = []
+
+        def counting(genomes):
+            calls.append(len(genomes))
+            return stub_evaluator(prefers_timed)(genomes)
+
+        search = EvolutionSearch(
+            make_env(),
+            SearchConfig(generations=50, population=8, target_bits=0.5),
+            seed=0,
+            evaluator=counting,
+        )
+        report = search.run()
+        assert report.found_channel(0.5)
+        assert len(calls) < 51  # stopped long before 50 generations
+
+
+class TestBandit:
+    def test_update_tracks_running_mean(self):
+        bandit = FamilyBandit(random.Random(0), epsilon=0.0)
+        bandit.update("timed", 1.0)
+        bandit.update("timed", 0.0)
+        assert bandit.means["timed"] == pytest.approx(0.5)
+        assert bandit.pulls["timed"] == 2
+
+    def test_greedy_pick_prefers_best_mean(self):
+        bandit = FamilyBandit(random.Random(0), epsilon=0.0)
+        bandit.update("flush", 2.0)
+        picks = {bandit.pick() for _ in range(10)}
+        assert picks == {"flush"}
+
+
+class TestConfigValidation:
+    def test_bad_population_rejected(self):
+        with pytest.raises(ValueError):
+            SearchConfig(population=1)
+        with pytest.raises(ValueError):
+            SearchConfig(population=4, elite=4)
