@@ -141,6 +141,29 @@ def _run_synth_generation():
     return counter.steps, {"evaluations": report.evaluations}
 
 
+def _run_statcheck_lint():
+    """Full static-conformance run (SC-1..SC-4) over ``src/repro``.
+
+    Lint sits on the CI fast lane gating every other job, so its
+    wall-time is a tracked budget like any hot path; ops = files
+    analyzed, so ns_per_op reads as per-file analysis cost.
+    """
+    from pathlib import Path
+
+    from ..statcheck.runner import run_lint
+
+    src = Path(__file__).resolve().parents[2]
+    baseline = src.parent / "statcheck.baseline.json"
+    report = run_lint(
+        [str(src / "repro")],
+        baseline_path=str(baseline) if baseline.exists() else None,
+    )
+    return report.files_analyzed, {
+        "findings": float(len(report.findings)),
+        "checkers": float(len(report.checkers_run)),
+    }
+
+
 def _run_e5_switch_latency() -> int:
     counter = _StepCounter()
     for tp in _both_tp_configs():
@@ -191,6 +214,11 @@ SCENARIOS: Dict[str, Scenario] = {
             "mc_tiny",
             "exhaustive product-state model check on tiny, tp full",
             _run_mc_tiny,
+        ),
+        Scenario(
+            "statcheck_lint",
+            "full SC-1..SC-4 static conformance run over src/repro",
+            _run_statcheck_lint,
         ),
     )
 }

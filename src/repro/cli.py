@@ -15,6 +15,7 @@ Eight subcommands::
                       [--population N] [--seed N] [--jobs N] [--save FILE]
                       [--threshold BITS] [--format text|json]
     repro-tp lint     [paths ...] [--format text|json] [--baseline FILE]
+                      [--jobs N] [--strict] [--prune-baseline]
     repro-tp bench    [--record | --compare] [--benches B1,B2]
                       [--repeats N] [--tolerance F] [--file PATH]
 
@@ -35,7 +36,10 @@ machine/TP configuration: exit 0 when no channel above the threshold
 was found (time protection held against the search), 1 when the search
 discovered one.  ``lint`` runs the static
 conformance analyzer (``repro.statcheck``) over the source tree: exit 0
-clean, 1 findings, 2 internal/configuration error.  ``bench`` runs the
+clean, 1 findings, 2 internal/configuration error; ``--jobs`` parses in
+a process pool, stale baseline waivers warn by default, fail (exit 2)
+under ``--strict``, and ``--prune-baseline`` rewrites the baseline file
+without them.  ``bench`` runs the
 throughput scenarios: ``--record`` writes the per-host
 ``benchmarks/BENCH_<host>.json`` baseline, ``--compare`` fails (exit 1)
 when any bench exceeds the baseline by more than the tolerance band.
@@ -389,12 +393,28 @@ def cmd_lint(args) -> int:
         report = run_lint(
             paths=args.paths or ["src/repro"],
             baseline_path=args.baseline or None,
+            jobs=args.jobs,
         )
     except (BaselineError, StatcheckError, SyntaxError) as error:
         print(f"lint error: {error}", file=sys.stderr)
         return 2
     render = render_json if args.format == "json" else render_text
     print(render(report))
+    if report.stale_suppressions:
+        if args.prune_baseline and report.baseline is not None:
+            pruned = report.baseline.prune()
+            print(
+                f"pruned {len(pruned)} stale suppression(s) from "
+                f"{report.baseline_path}",
+                file=sys.stderr,
+            )
+        elif args.strict:
+            print(
+                f"lint error: {len(report.stale_suppressions)} stale "
+                f"suppression(s) under --strict (run --prune-baseline)",
+                file=sys.stderr,
+            )
+            return max(report.exit_code, 2)
     return report.exit_code
 
 
@@ -570,7 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="run the static conformance analyzer (SC-1/SC-2/SC-3)",
+        help="run the static conformance analyzer (SC-1/SC-2/SC-3/SC-4)",
     )
     lint.add_argument(
         "paths", nargs="*",
@@ -580,6 +600,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--baseline", default="",
         help="suppression file (default: discover statcheck.baseline.json)",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=1,
+        help="parse/index files in a process pool of this size",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 2) on stale baseline suppressions",
+    )
+    lint.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline file without stale suppressions",
     )
     lint.set_defaults(func=cmd_lint)
 

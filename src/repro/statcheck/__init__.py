@@ -7,7 +7,7 @@ through the ``touch()`` instrumentation, and the whole simulator/kernel/
 checker stack must be strictly deterministic, or the two-run secret-swap
 bisimulation proves nothing.  Nothing at runtime can notice a read that
 was never instrumented -- that is a property of the *source*, so this
-package audits the source.  Three checkers, named like the runtime proof
+package audits the source.  Four checkers, named like the runtime proof
 obligations they statically back:
 
 SC-1  footprint completeness: in ``repro.hardware``, any function on a
@@ -24,6 +24,13 @@ SC-3  registry completeness: every ``StateElement`` subclass must be
       ``Machine.all_state_elements()`` / the ``absmodel`` extraction,
       so no element can exist in a preset yet be invisible to the
       abstract model (static PO-1).
+SC-4  secret information flow: interprocedural taint from Hi secrets
+      (``secret*`` parameters, ``params["secret"|"symbol"|"bit"]``
+      reads) must not reach a Lo-observable sink (trace appends,
+      Lo-record construction, returned latencies) except through a
+      sanctioned conduit -- ISA micro-ops and ``touch()``-instrumented
+      element accesses (static noninterference; the routing property
+      every other assurance layer assumes).
 
 Everything here is stdlib ``ast``; analyzed code is parsed, never
 imported.
@@ -32,11 +39,13 @@ imported.
 from .baseline import Baseline, BaselineError
 from .findings import CHECKERS, Finding, to_obligation_results
 from .runner import LintReport, StatcheckError, render_json, render_text, run_lint
+from .taint import check_taint
 
 __all__ = [
     "Baseline",
     "BaselineError",
     "CHECKERS",
+    "check_taint",
     "Finding",
     "LintReport",
     "StatcheckError",

@@ -30,6 +30,10 @@ class Baseline:
         self.suppressions = suppressions
         self.path = path
         self._used: set = set()
+        #: The parsed file payload, kept verbatim so ``--prune-baseline``
+        #: can rewrite the file without touching live entries, comments,
+        #: or any extra top-level keys.
+        self.raw: dict = {"version": 1, "suppressions": []}
 
     @classmethod
     def empty(cls) -> "Baseline":
@@ -62,7 +66,9 @@ class Baseline:
                     f"justification -- every intentional finding must say why"
                 )
             suppressions[str(entry["key"])] = justification
-        return cls(suppressions, path=str(path))
+        baseline = cls(suppressions, path=str(path))
+        baseline.raw = raw
+        return baseline
 
     def matches(self, finding: Finding) -> bool:
         exact = finding.suppression_key
@@ -87,3 +93,33 @@ class Baseline:
     def stale_keys(self) -> List[str]:
         """Suppressions that matched nothing (candidates for removal)."""
         return sorted(set(self.suppressions) - self._used)
+
+    def pruned_payload(self) -> dict:
+        """The file payload with stale suppressions removed.
+
+        Only valid after :meth:`apply` has run (staleness is defined
+        against the findings of that run).  Live entries are preserved
+        verbatim, justifications and all.
+        """
+        stale = set(self.stale_keys())
+        payload = dict(self.raw)
+        payload["suppressions"] = [
+            entry for entry in self.raw.get("suppressions", [])
+            if str(entry.get("key")) not in stale
+        ]
+        return payload
+
+    def prune(self) -> List[str]:
+        """Rewrite the baseline file without stale entries.
+
+        Returns the pruned keys (empty list means the file was already
+        tight and is left untouched).
+        """
+        stale = self.stale_keys()
+        if not stale or not self.path:
+            return []
+        Path(self.path).write_text(
+            json.dumps(self.pruned_payload(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return stale

@@ -22,6 +22,8 @@ CHECKERS: Dict[str, str] = {
             "(static Case 2a)",
     "SC-3": "every StateElement is registered and visible to the "
             "abstract model (static PO-1)",
+    "SC-4": "every Hi->Lo information flow routes through a registered "
+            "state element (static noninterference)",
 }
 
 
@@ -35,7 +37,7 @@ class Finding:
     baselines survive unrelated edits to the flagged file.
     """
 
-    checker: str   # "SC-1" | "SC-2" | "SC-3"
+    checker: str   # "SC-1" | "SC-2" | "SC-3" | "SC-4"
     rule: str      # e.g. "undeclared-read", "wall-clock"
     path: str      # file path as given to the runner
     lineno: int

@@ -27,6 +27,7 @@ from .determinism import check_determinism
 from .findings import CHECKERS, Finding, to_obligation_results
 from .footprint import check_footprint
 from .registry_lint import check_registry
+from .taint import check_taint
 from .universe import Universe, load_universe
 
 #: Default baseline filename, discovered upward from cwd / lint targets.
@@ -38,12 +39,21 @@ _SCOPE_SEGMENTS = {
     # order must be deterministic across processes (frontier sharding
     # hands states to fork workers by hash).  So is the synth search: an
     # unseeded RNG anywhere in the evolution loop silently breaks
-    # same-seed reproducibility of discovered attacks.
-    "SC-2": {"hardware", "kernel", "core", "campaign", "mc", "synth"},
+    # same-seed reproducibility of discovered attacks.  And so is the
+    # analysis package: ``capacity.mutual_information_from_samples`` is
+    # the single estimator behind synth fitness *and* campaign reports,
+    # so nondeterminism there breaks same-seed reproducibility of every
+    # reported number.
+    "SC-2": {"hardware", "kernel", "core", "campaign", "mc", "synth",
+             "analysis"},
     # Synth is in SC-3 scope too: genome primitives observe hardware
     # through timed accesses, and any state element a genome-built
     # victim or spy constructs must be registered and enumerated.
     "SC-3": {"hardware", "core", "synth"},
+    # SC-4 secret-taint: everywhere secrets are handled -- victims and
+    # trojans encode them, the kernel switches between their domains,
+    # and core/ carries them through the secret-swap experiments.
+    "SC-4": {"kernel", "hardware", "core", "attacks", "synth"},
 }
 
 
@@ -59,6 +69,9 @@ class LintReport:
     checkers_run: List[str] = field(default_factory=list)
     files_analyzed: int = 0
     baseline_path: str = ""
+    #: The applied baseline object, exposed so callers (``--prune-
+    #: baseline``) can rewrite the file with staleness already computed.
+    baseline: Optional[Baseline] = None
 
     @property
     def clean(self) -> bool:
@@ -116,6 +129,7 @@ def run_lint(
     baseline_path: Optional[str] = None,
     checkers: Optional[Iterable[str]] = None,
     all_scopes: bool = False,
+    jobs: int = 1,
 ) -> LintReport:
     """Run the selected checkers; raises ``BaselineError``/
     ``StatcheckError``/``SyntaxError`` for exit-code-2 conditions."""
@@ -136,7 +150,7 @@ def run_lint(
         )
 
     files = collect_files(paths)
-    universe = load_universe(files)
+    universe = load_universe(files, jobs=jobs)
 
     findings: List[Finding] = []
     if "SC-1" in selected:
@@ -153,6 +167,10 @@ def run_lint(
         findings.extend(check_registry(
             universe, scope_modules=_scoped(universe, "SC-3", all_scopes)
         ))
+    if "SC-4" in selected:
+        findings.extend(check_taint(
+            universe, scope_modules=_scoped(universe, "SC-4", all_scopes)
+        ))
 
     kept, suppressed = baseline.apply(findings)
     kept.sort(key=lambda f: (f.path, f.lineno, f.checker, f.rule))
@@ -163,6 +181,7 @@ def run_lint(
         checkers_run=selected,
         files_analyzed=len(files),
         baseline_path=baseline.path,
+        baseline=baseline,
     )
 
 

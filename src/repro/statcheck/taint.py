@@ -1,0 +1,760 @@
+"""SC-4: interprocedural secret-taint checker (static noninterference).
+
+Proves, at the source level, that every Hi->Lo information flow routes
+through a registered ``StateElement`` -- the precondition under which
+the runtime obligations (PO-1/PO-7), SC-1, and the model checker are
+sound.  A secret that reaches a Lo-observable sink *without* crossing a
+sanctioned conduit is a finding:
+
+* **R1 ``direct-flow``** -- a tainted value reaches a sink (trace
+  append, Lo-record construction, returned latency) directly.
+* **R2 ``implicit-flow``** -- a secret-dependent branch writes to a
+  sink-reaching location, so the *choice* leaks even if no tainted
+  value does.
+
+The analysis is a forward taint pass per unit (function/method/nested
+def) over origin-label sets, made interprocedural by function summaries
+(``param -> return``, ``param -> sink``, ``returns source``) iterated
+to a global fixpoint on the heuristic call graph.  Policy -- what is a
+source, a sink, a sanitizer, a declassifier -- lives in
+:mod:`repro.statcheck.sanitizers`.
+
+Soundness posture: like the rest of statcheck this is AST-level and
+heuristic.  It over-approximates call targets (callgraph) but
+under-approximates some flows by design (see DESIGN.md 2.3c for the
+caveat table): no closure capture, no cross-method ``self`` attribute
+flow, calls through callable parameters and unresolved attributes
+absorb argument taint, and loop-bound implicit flows are not tracked.
+The mutation self-tests pin the flows it must catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .callgraph import _BUILTIN_METHOD_NAMES, _resolve_call
+from .findings import Finding
+from .flowgraph import (
+    Unit,
+    assignments,
+    bind_call_args,
+    iter_units,
+    names_read,
+    propagate_sink_reaching,
+    scope_statements,
+    trailing_name,
+)
+from .sanitizers import (
+    ISA_OP_CTORS,
+    MUTATOR_METHODS,
+    SECRET_PARAM_KEYS,
+    SINK_CONTAINER_NAMES,
+    SINK_CTOR_NAMES,
+    SINK_RETURN_METHODS,
+    is_declassified,
+    is_sanitizing_callee,
+    is_secret_param,
+)
+from .universe import Universe
+
+#: The origin label for a secret read in this very unit; parameter
+#: origins are ``"param:<name>"``.
+SOURCE = "<source>"
+
+_MAX_UNIT_PASSES = 8
+_MAX_GLOBAL_PASSES = 12
+
+
+@dataclass
+class Summary:
+    """What a unit does with taint, as seen from its callers."""
+
+    param_to_return: Set[str] = field(default_factory=set)
+    param_to_sink: Dict[str, str] = field(default_factory=dict)
+    returns_source: bool = False
+
+    def signature(self) -> Tuple:
+        return (
+            frozenset(self.param_to_return),
+            frozenset(self.param_to_sink),
+            self.returns_source,
+        )
+
+
+@dataclass
+class _SinkHit:
+    origins: Set[str]
+    lineno: int
+    description: str
+
+
+class _UnitAnalysis:
+    """One forward taint pass over a unit (monotone; run to fixpoint)."""
+
+    def __init__(self, unit: Unit, checker: "TaintChecker"):
+        self.unit = unit
+        self.checker = checker
+        self.env: Dict[str, Set[str]] = {}
+        self.self_attrs: Dict[str, Set[str]] = {}
+        self.ret: Set[str] = set()
+        self.hits: List[_SinkHit] = []
+        self.implicit: List[Finding] = []
+        self.sink_reaching: Set[str] = set()
+        self.report = False
+        for param in unit.params:
+            if param in ("self", "cls"):
+                continue
+            origins: Set[str] = {f"param:{param}"}
+            if is_secret_param(param) and not is_declassified(
+                unit.module, unit.qualname, param
+            ):
+                origins.add(SOURCE)
+            if is_declassified(unit.module, unit.qualname, param):
+                origins = set()
+            self.env[param] = origins
+
+    # -- driving -------------------------------------------------------
+
+    def run(self, report: bool) -> None:
+        self.report = False
+        for _ in range(_MAX_UNIT_PASSES):
+            before = self._state_signature()
+            self.hits = []
+            self.exec_stmts(list(self.unit.node.body))
+            if self._state_signature() == before:
+                break
+        if report:
+            # One extra pass with reporting on, against the stable state.
+            self.report = True
+            self.sink_reaching = self._compute_sink_reaching()
+            self.hits = []
+            self.implicit = []
+            self.exec_stmts(list(self.unit.node.body))
+
+    def _state_signature(self) -> Tuple:
+        return (
+            tuple(sorted((k, frozenset(v)) for k, v in self.env.items())),
+            tuple(sorted(
+                (k, frozenset(v)) for k, v in self.self_attrs.items()
+            )),
+            frozenset(self.ret),
+            tuple(sorted(
+                (frozenset(h.origins), h.lineno) for h in self.hits
+            )),
+        )
+
+    def summary(self) -> Summary:
+        out = Summary()
+        out.param_to_return = {
+            p for p in self.unit.params
+            if f"param:{p}" in self.ret
+        }
+        out.returns_source = SOURCE in self.ret
+        for hit in self.hits:
+            for origin in hit.origins:
+                if origin.startswith("param:"):
+                    out.param_to_sink.setdefault(
+                        origin[len("param:"):], hit.description
+                    )
+        return out
+
+    def findings(self) -> List[Finding]:
+        found = [
+            Finding(
+                checker="SC-4",
+                rule="direct-flow",
+                path=self.unit.path,
+                lineno=hit.lineno,
+                module=self.unit.module,
+                qualname=self.unit.qualname,
+                message=(
+                    f"secret-tainted value reaches Lo-observable sink "
+                    f"({hit.description}) without traversing a "
+                    f"registered state element"
+                ),
+            )
+            for hit in self.hits
+            if SOURCE in hit.origins
+        ]
+        found.extend(self.implicit)
+        return found
+
+    # -- statements ----------------------------------------------------
+
+    def exec_stmts(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            origins = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, origins)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            # ``eval`` dispatches on node shape, not ctx, so evaluating
+            # the store target reads its current taint.
+            origins = self.eval(stmt.value) | self.eval(stmt.target)
+            self.assign(stmt.target, origins)
+        elif isinstance(stmt, ast.For):
+            self.assign(stmt.target, self.eval(stmt.iter))
+            self.exec_stmts(stmt.body)
+            self.exec_stmts(stmt.orelse)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            test_origins = self.eval(stmt.test)
+            if self.report and SOURCE in test_origins:
+                self._check_implicit(stmt)
+            self.exec_stmts(stmt.body)
+            self.exec_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                origins = self.eval(stmt.value)
+                self.ret |= origins
+                if self._is_return_sink() and origins:
+                    self._sink_hit(
+                        origins, stmt.lineno,
+                        f"latency returned from "
+                        f"{self.unit.qualname} without touch()",
+                    )
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                origins = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, origins)
+            self.exec_stmts(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_stmts(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_stmts(handler.body)
+            self.exec_stmts(stmt.orelse)
+            self.exec_stmts(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self.eval(sub)
+        elif isinstance(stmt, ast.Match):
+            self.eval(stmt.subject)
+            for case in stmt.cases:
+                self.exec_stmts(case.body)
+        # Nested defs/classes are separate units; Import/Global/Pass/
+        # Break/Continue/Delete carry no taint.
+
+    def assign(self, target: ast.expr, origins: Set[str]) -> None:
+        if isinstance(target, ast.Name):
+            if origins:
+                self.env[target.id] = self.env.get(target.id, set()) | origins
+        elif isinstance(target, ast.Attribute):
+            if (isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                if origins:
+                    self.self_attrs[target.attr] = (
+                        self.self_attrs.get(target.attr, set()) | origins
+                    )
+                if target.attr in SINK_CONTAINER_NAMES and origins:
+                    self._sink_hit(
+                        origins, target.lineno,
+                        f"assignment to self.{target.attr}",
+                    )
+        elif isinstance(target, ast.Subscript):
+            # ``x[k] = v`` poisons the container ``x``.
+            self.eval(target.slice)
+            base = target.value
+            if origins:
+                self.assign(base, origins)
+            name = trailing_name(base)
+            if name in SINK_CONTAINER_NAMES and origins:
+                self._sink_hit(
+                    origins, target.lineno, f"store into {name}[...]"
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.assign(element, origins)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, origins)
+
+    def _poison(self, target: ast.expr, origins: Set[str]) -> None:
+        """Taint the atom behind ``target`` without sink side-effects."""
+        if isinstance(target, ast.Name):
+            self.env[target.id] = self.env.get(target.id, set()) | origins
+        elif isinstance(target, ast.Attribute):
+            if (isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                self.self_attrs[target.attr] = (
+                    self.self_attrs.get(target.attr, set()) | origins
+                )
+
+    # -- expressions ---------------------------------------------------
+
+    def eval(self, expr: Optional[ast.expr]) -> Set[str]:
+        if expr is None:
+            return set()
+        if isinstance(expr, ast.Name):
+            return set(self.env.get(expr.id, ()))
+        if isinstance(expr, ast.Attribute):
+            if (isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"):
+                return set(self.self_attrs.get(expr.attr, ()))
+            return self.eval(expr.value)
+        if isinstance(expr, ast.Subscript):
+            if self._is_source_subscript(expr):
+                return {SOURCE}
+            return self.eval(expr.value) | self.eval(expr.slice)
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr)
+        if isinstance(expr, ast.BinOp):
+            return self.eval(expr.left) | self.eval(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            out: Set[str] = set()
+            for value in expr.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(expr, ast.Compare):
+            out = self.eval(expr.left)
+            for comparator in expr.comparators:
+                out |= self.eval(comparator)
+            return out
+        if isinstance(expr, ast.IfExp):
+            return (
+                self.eval(expr.test)
+                | self.eval(expr.body)
+                | self.eval(expr.orelse)
+            )
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for element in expr.elts:
+                out |= self.eval(element)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = set()
+            for key in expr.keys:
+                out |= self.eval(key)
+            for value in expr.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for gen in expr.generators:
+                self.assign(gen.target, self.eval(gen.iter))
+            out = self.eval(expr.elt)
+            for gen in expr.generators:
+                for cond in gen.ifs:
+                    out |= self.eval(cond)
+            return out
+        if isinstance(expr, ast.DictComp):
+            for gen in expr.generators:
+                self.assign(gen.target, self.eval(gen.iter))
+            return self.eval(expr.key) | self.eval(expr.value)
+        if isinstance(expr, ast.JoinedStr):
+            out = set()
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.eval(value.value)
+            return out
+        if isinstance(expr, ast.NamedExpr):
+            origins = self.eval(expr.value)
+            self.assign(expr.target, origins)
+            return origins
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            # Yielded micro-ops are consumed by the execution engine;
+            # what comes back from ``send`` is engine data, not the
+            # secret (any secret folded into the op was absorbed by the
+            # sanctioned ISA constructors).
+            if getattr(expr, "value", None) is not None:
+                self.eval(expr.value)
+            return set()
+        if isinstance(expr, ast.Await):
+            return self.eval(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value)
+        if isinstance(expr, ast.Slice):
+            return (
+                self.eval(expr.lower)
+                | self.eval(expr.upper)
+                | self.eval(expr.step)
+            )
+        if isinstance(expr, ast.Lambda):
+            return set()
+        return set()
+
+    def _is_source_subscript(self, expr: ast.Subscript) -> bool:
+        """``<x>.params["secret"|"symbol"|"bit"]`` reads."""
+        return (
+            trailing_name(expr.value) == "params"
+            and isinstance(expr.slice, ast.Constant)
+            and expr.slice.value in SECRET_PARAM_KEYS
+        )
+
+    def _is_source_get(self, call: ast.Call) -> bool:
+        """``<x>.params.get("secret", ...)`` reads."""
+        func = call.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "get"
+            and trailing_name(func.value) == "params"
+            and bool(call.args)
+            and isinstance(call.args[0], ast.Constant)
+            and call.args[0].value in SECRET_PARAM_KEYS
+        )
+
+    # -- calls ---------------------------------------------------------
+
+    def eval_call(self, call: ast.Call) -> Set[str]:
+        checker = self.checker
+        func = call.func
+        arg_union: Set[str] = set()
+        for arg in call.args:
+            arg_union |= self.eval(arg)
+        for kw in call.keywords:
+            arg_union |= self.eval(kw.value)
+
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in ISA_OP_CTORS:
+                return set()  # sanctioned conduit: SC-1 covers execution
+            if name in SINK_CTOR_NAMES:
+                if arg_union:
+                    self._sink_hit(
+                        arg_union, call.lineno,
+                        f"{name}(...) Lo-record construction",
+                    )
+                return arg_union
+            if name in self.unit.params:
+                # Higher-order call through a callable parameter:
+                # absorbed (documented caveat).
+                return set()
+            callees = _resolve_call(
+                checker.universe, self.unit.resolver, call
+            )
+            if callees:
+                return self._eval_resolved(call, callees, method_call=False)
+            if name in checker.universe.classes_by_name:
+                return arg_union  # dataclass-style ctor: taint the object
+            return arg_union  # builtin (len/max/range/...)
+
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if attr in ("touch", "_touch"):
+                self.eval(func.value)
+                return set()
+            if self._is_source_get(call):
+                return {SOURCE}
+            recv = self.eval(func.value)
+            if attr in MUTATOR_METHODS:
+                # Container write: poison the receiver, check sinks.
+                # (_poison, not assign: the sink check below is the one
+                # witness for this write -- assign would double-report.)
+                if arg_union:
+                    self._poison(func.value, arg_union)
+                name = trailing_name(func.value)
+                if name in SINK_CONTAINER_NAMES and arg_union:
+                    self._sink_hit(
+                        arg_union, call.lineno, f"{attr} to {name}"
+                    )
+                return set()
+            if attr in _BUILTIN_METHOD_NAMES:
+                return recv | arg_union
+            callees = _resolve_call(
+                checker.universe, self.unit.resolver, call
+            )
+            if callees:
+                return recv | self._eval_resolved(
+                    call, callees, method_call=True
+                )
+            # Unresolved attribute call: argument taint is absorbed
+            # (documented caveat -- e.g. ``build_and_run(secret)``
+            # behind ``self.``), receiver taint flows through.
+            return recv
+
+        # Weird callee expression (subscripted table of callables, ...).
+        self.eval(func)
+        return arg_union
+
+    def _eval_resolved(
+        self, call: ast.Call, callees: List, method_call: bool
+    ) -> Set[str]:
+        checker = self.checker
+        sanitizing = any(
+            is_sanitizing_callee(c, checker.element_class_names)
+            for c in callees
+        )
+        if sanitizing:
+            return set()
+        result: Set[str] = set()
+        for callee in callees:
+            summary = checker.summaries.get(
+                callee.key, checker.empty_summary
+            )
+            if summary.returns_source:
+                result.add(SOURCE)
+            is_ctor = callee.name == "__init__"
+            for param, arg_expr in bind_call_args(
+                callee, call, method_call or is_ctor
+            ):
+                if is_declassified(callee.module, callee.qualname, param):
+                    continue
+                origins = self.eval(arg_expr)
+                if not origins:
+                    continue
+                if param in summary.param_to_return or is_ctor:
+                    result |= origins
+                if param in summary.param_to_sink:
+                    self._sink_hit(
+                        origins, call.lineno,
+                        f"argument {param!r} reaches sink in "
+                        f"{callee.module}.{callee.qualname} "
+                        f"({summary.param_to_sink[param]})",
+                    )
+        return result
+
+    # -- sinks ---------------------------------------------------------
+
+    def _is_return_sink(self) -> bool:
+        unit = self.unit
+        return (
+            unit.class_name is not None
+            and unit.class_name in self.checker.element_class_names
+            and unit.name in SINK_RETURN_METHODS
+            and not self.checker.unit_touches(unit)
+        )
+
+    def _sink_hit(
+        self, origins: Set[str], lineno: int, description: str
+    ) -> None:
+        interesting = {
+            o for o in origins if o == SOURCE or o.startswith("param:")
+        }
+        if interesting:
+            self.hits.append(_SinkHit(interesting, lineno, description))
+
+    # -- implicit flows (R2) -------------------------------------------
+
+    def _compute_sink_reaching(self) -> Set[str]:
+        """Names whose value can influence a sink position in this unit."""
+        stmts = scope_statements(self.unit.node)
+        seeds: Set[str] = set()
+        for stmt in stmts:
+            for sub_stmt, expr in _statement_exprs(stmt):
+                for node in ast.walk(expr):
+                    if isinstance(node, ast.Call):
+                        seeds |= self._call_seed_names(node)
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                if self._is_return_sink():
+                    seeds |= names_read(stmt.value)
+            for targets, value in _sink_named_writes(stmt):
+                seeds |= value
+        return propagate_sink_reaching(seeds, assignments(stmts))
+
+    def _call_seed_names(self, call: ast.Call) -> Set[str]:
+        """Names read at an actual sink position inside ``call``."""
+        func = call.func
+        arg_names: Set[str] = set()
+        for arg in call.args:
+            arg_names |= names_read(arg)
+        for kw in call.keywords:
+            arg_names |= names_read(kw.value)
+        if isinstance(func, ast.Name):
+            if func.id in SINK_CTOR_NAMES:
+                return arg_names
+            callees = _resolve_call(
+                self.checker.universe, self.unit.resolver, call
+            )
+            return self._bound_seed_names(call, callees, False)
+        if isinstance(func, ast.Attribute):
+            if (func.attr in MUTATOR_METHODS
+                    and trailing_name(func.value) in SINK_CONTAINER_NAMES):
+                return arg_names
+            if func.attr in MUTATOR_METHODS | _BUILTIN_METHOD_NAMES:
+                return set()
+            callees = _resolve_call(
+                self.checker.universe, self.unit.resolver, call
+            )
+            return self._bound_seed_names(call, callees, True)
+        return set()
+
+    def _bound_seed_names(
+        self, call: ast.Call, callees: List, method_call: bool
+    ) -> Set[str]:
+        checker = self.checker
+        if any(
+            is_sanitizing_callee(c, checker.element_class_names)
+            for c in callees
+        ):
+            return set()
+        seeds: Set[str] = set()
+        for callee in callees:
+            summary = checker.summaries.get(
+                callee.key, checker.empty_summary
+            )
+            if not summary.param_to_sink:
+                continue
+            for param, arg_expr in bind_call_args(
+                callee, call, method_call or callee.name == "__init__"
+            ):
+                if param in summary.param_to_sink:
+                    seeds |= names_read(arg_expr)
+        return seeds
+
+    def _check_implicit(self, stmt: ast.stmt) -> None:
+        """A secret-dependent branch: do its arms write sink-ward?"""
+        written: Optional[str] = None
+        for arm_stmt in _arm_statements(stmt):
+            for targets, _ in _assignment_targets(arm_stmt):
+                hit = targets & self.sink_reaching
+                if hit:
+                    written = f"assigns sink-reaching name {sorted(hit)[0]!r}"
+                    break
+            if written is None and _writes_sink_directly(arm_stmt):
+                written = "writes a Lo-observable sink directly"
+            if written:
+                break
+        if written is None:
+            return
+        kind = "if" if isinstance(stmt, ast.If) else "while"
+        self.implicit.append(Finding(
+            checker="SC-4",
+            rule="implicit-flow",
+            path=self.unit.path,
+            lineno=stmt.lineno,
+            module=self.unit.module,
+            qualname=self.unit.qualname,
+            message=(
+                f"secret-dependent {kind} at line {stmt.lineno} "
+                f"{written}: the branch choice is Lo-visible "
+                f"without traversing a registered state element"
+            ),
+        ))
+
+
+# -- module-level helpers ----------------------------------------------
+
+
+def _statement_exprs(stmt: ast.stmt) -> List[Tuple[ast.stmt, ast.expr]]:
+    out = []
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            out.append((stmt, child))
+    return out
+
+
+def _assignment_targets(stmt: ast.stmt) -> List[Tuple[Set[str], Set[str]]]:
+    return assignments([stmt])
+
+
+def _sink_named_writes(stmt: ast.stmt) -> List[Tuple[Set[str], Set[str]]]:
+    """``self.<sink> = value`` / ``<sink>[k] = value`` write positions."""
+    out = []
+    targets: List[ast.expr] = []
+    value: Optional[ast.expr] = None
+    if isinstance(stmt, ast.Assign):
+        targets, value = stmt.targets, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets, value = [stmt.target], stmt.value
+    elif isinstance(stmt, ast.AugAssign):
+        targets, value = [stmt.target], stmt.value
+    if value is None:
+        return out
+    for target in targets:
+        name = None
+        if isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.Subscript):
+            name = trailing_name(target.value)
+        if name in SINK_CONTAINER_NAMES:
+            out.append((set(), names_read(value)))
+    return out
+
+
+def _arm_statements(stmt: ast.stmt) -> List[ast.stmt]:
+    """Shallow statements of both arms (not descending nested branches,
+    which get their own R2 check when their test is tainted)."""
+    return list(stmt.body) + list(stmt.orelse)
+
+
+def _writes_sink_directly(stmt: ast.stmt) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in SINK_CTOR_NAMES:
+                return True
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                    and trailing_name(func.value) in SINK_CONTAINER_NAMES):
+                return True
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, ast.Store
+        ):
+            if trailing_name(node.value) in SINK_CONTAINER_NAMES:
+                return True
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.ctx, ast.Store
+        ):
+            if node.attr in SINK_CONTAINER_NAMES:
+                return True
+    return False
+
+
+class TaintChecker:
+    """Drives the per-unit analyses to a global summary fixpoint."""
+
+    def __init__(self, universe: Universe, scope_modules: Set[str]):
+        self.universe = universe
+        self.scope_modules = scope_modules
+        self.element_class_names: FrozenSet[str] = frozenset(
+            cls.name for cls in universe.element_classes()
+        )
+        self.summaries: Dict[Tuple[str, str], Summary] = {}
+        self.empty_summary = Summary()
+        self._touch_cache: Dict[Tuple[str, str], bool] = {}
+        # Summaries are computed for *every* unit in the universe (a
+        # scoped caller may call an unscoped helper); findings are only
+        # reported for units in scoped modules.
+        self.units: List[Unit] = list(iter_units(universe))
+
+    def unit_touches(self, unit: Unit) -> bool:
+        cached = self._touch_cache.get(unit.key)
+        if cached is None:
+            cached = any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("touch", "_touch")
+                for stmt in scope_statements(unit.node)
+                for sub in ast.walk(stmt)
+            )
+            self._touch_cache[unit.key] = cached
+        return cached
+
+    def run(self) -> List[Finding]:
+        for _ in range(_MAX_GLOBAL_PASSES):
+            changed = False
+            for unit in self.units:
+                analysis = _UnitAnalysis(unit, self)
+                analysis.run(report=False)
+                new = analysis.summary()
+                old = self.summaries.get(unit.key)
+                if old is None or old.signature() != new.signature():
+                    self.summaries[unit.key] = new
+                    changed = True
+            if not changed:
+                break
+        findings: List[Finding] = []
+        for unit in self.units:
+            if unit.module not in self.scope_modules:
+                continue
+            analysis = _UnitAnalysis(unit, self)
+            analysis.run(report=True)
+            findings.extend(analysis.findings())
+        return findings
+
+
+def check_taint(
+    universe: Universe, scope_modules: Set[str]
+) -> List[Finding]:
+    """Run SC-4 over the universe, reporting within ``scope_modules``."""
+    return TaintChecker(universe, scope_modules).run()

@@ -250,19 +250,34 @@ class Universe:
         return order
 
 
-def load_universe(files: List[Path]) -> Universe:
+def _parse_one(path_str: str) -> ModuleInfo:
+    """Parse and index a single file (top-level so it pickles to a
+    process pool worker)."""
+    path = Path(path_str)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as error:
+        error.filename = path_str
+        raise
+    return _index_module(path, derive_module_name(path), tree)
+
+
+def load_universe(files: List[Path], jobs: int = 1) -> Universe:
     """Parse ``files`` into a :class:`Universe`.
 
+    Parsing and per-module indexing are embarrassingly parallel, so
+    ``jobs > 1`` fans the files out over a process pool (AST nodes
+    pickle); the cross-module indexes are built in-process afterwards.
     Raises ``SyntaxError`` (annotated with the offending path) if any
     file does not parse -- the runner maps that to exit code 2.
     """
-    modules = []
-    for path in files:
-        source = path.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as error:
-            error.filename = str(path)
-            raise
-        modules.append(_index_module(path, derive_module_name(path), tree))
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            modules = list(pool.map(
+                _parse_one, [str(p) for p in files], chunksize=8
+            ))
+    else:
+        modules = [_parse_one(str(path)) for path in files]
     return Universe(modules)

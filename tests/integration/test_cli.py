@@ -221,7 +221,75 @@ class TestLint:
         assert payload["clean"] is True
         assert payload["findings"] == []
         assert len(payload["suppressed"]) == 8
-        assert payload["summary"] == {"SC-1": 0, "SC-2": 0, "SC-3": 0}
+        assert payload["summary"] == {
+            "SC-1": 0, "SC-2": 0, "SC-3": 0, "SC-4": 0,
+        }
+
+    def test_parallel_jobs_flag_clean(self, capsys):
+        code = main([
+            "lint", str(REPO / "src" / "repro"), "--jobs", "4",
+            "--baseline", str(REPO / "statcheck.baseline.json"),
+        ])
+        assert code == 0
+        assert "SC-4 [PASS]" in capsys.readouterr().out
+
+    @staticmethod
+    def _baseline_with_stale_entry(tmp_path):
+        committed = json.loads(
+            (REPO / "statcheck.baseline.json").read_text()
+        )
+        payload = dict(committed)
+        payload["suppressions"] = list(committed["suppressions"]) + [
+            {"key": "SC-2:no.such.module:*:wall-clock",
+             "justification": "module was removed"},
+        ]
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(payload))
+        return baseline
+
+    def test_stale_suppression_warns_by_default(self, tmp_path, capsys):
+        baseline = self._baseline_with_stale_entry(tmp_path)
+        code = main([
+            "lint", str(REPO / "src" / "repro"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 0
+        assert "stale suppression" in capsys.readouterr().out
+
+    def test_stale_suppression_fails_under_strict(self, tmp_path, capsys):
+        baseline = self._baseline_with_stale_entry(tmp_path)
+        code = main([
+            "lint", str(REPO / "src" / "repro"),
+            "--baseline", str(baseline), "--strict",
+        ])
+        assert code == 2
+        assert "stale" in capsys.readouterr().err
+
+    def test_prune_baseline_rewrites_file(self, tmp_path, capsys):
+        committed = json.loads(
+            (REPO / "statcheck.baseline.json").read_text()
+        )
+        baseline = self._baseline_with_stale_entry(tmp_path)
+        code = main([
+            "lint", str(REPO / "src" / "repro"),
+            "--baseline", str(baseline), "--prune-baseline",
+        ])
+        assert code == 0
+        assert "pruned 1 stale" in capsys.readouterr().err
+        after = json.loads(baseline.read_text())
+        assert (
+            [e["key"] for e in after["suppressions"]]
+            == [e["key"] for e in committed["suppressions"]]
+        )
+
+    def test_committed_baseline_is_tight_under_strict(self, capsys):
+        # What CI enforces: --prune-baseline would not change the
+        # committed baseline, i.e. --strict passes.
+        code = main([
+            "lint", str(REPO / "src" / "repro"), "--strict",
+            "--baseline", str(REPO / "statcheck.baseline.json"),
+        ])
+        assert code == 0
 
 
 #: Minimal search budget: initial population plus one generation is

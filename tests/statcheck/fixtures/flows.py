@@ -1,0 +1,86 @@
+"""SC-4 fixture: seeded secret-flow violations and sanctioned conduits.
+
+Parsed by the analyzer, never imported.  ``direct_leak`` writes a
+secret straight into an observation trace (R1), ``implicit_leak``
+branches on the secret into a sink-reaching write (R2), and
+``record_leak`` smuggles it into a Lo-record constructor via a params
+read (R1, interprocedural source form).  ``sanctioned_flow`` is the
+allowed pattern -- the secret modulates *which line* is touched in a
+``touch()``-instrumented element and only the resulting latency is
+observed -- and must stay clean: that routing is the whole point of
+time protection, not a leak.
+"""
+
+
+class StateElement:
+    """Stand-in for repro.hardware.state.StateElement (matched by name)."""
+
+    def __init__(self, name, instrumentation=None):
+        self.name = name
+        self.instr = instrumentation
+
+    def _touch(self, index, kind):
+        if self.instr is not None:
+            self.instr.touch(self.name, index, kind)
+
+
+class ConduitCache(StateElement):
+    """A properly instrumented element: the sanctioned conduit."""
+
+    def __init__(self, name, n_sets, instrumentation=None):
+        super().__init__(name, instrumentation)
+        self._sets = [[] for _ in range(n_sets)]
+        self.n_sets = n_sets
+
+    def access(self, paddr):
+        self._touch(paddr % self.n_sets, "read")
+        return 1 + len(self._sets[paddr % self.n_sets])
+
+
+class ChannelResult:
+    """Stand-in Lo-record type (matched by name)."""
+
+    def __init__(self, samples=None, metadata=None):
+        self.samples = samples
+        self.metadata = metadata
+
+
+def direct_leak(secret, trace):
+    # VIOLATION (R1): the secret lands verbatim in the Lo-visible trace.
+    trace.append(secret)
+
+
+def implicit_leak(secret):
+    # VIOLATION (R2): no tainted *value* reaches the sink, but the
+    # secret decides which constant does -- the branch choice leaks.
+    latency = 3
+    if secret % 2:
+        latency = 1
+    samples = []
+    samples.append((0, latency))
+    return ChannelResult(samples=samples)
+
+
+def record_leak(ctx):
+    # VIOLATION (R1): a params["secret"] read folded into a Lo record.
+    return ChannelResult(metadata={"hint": ctx.params["secret"]})
+
+
+def sanctioned_flow(secret, cache, latencies):
+    # OK: the secret picks the address, the address goes through the
+    # instrumented element, and only the measured latency is observed.
+    # This is the declared-state routing SC-4 exists to enforce.
+    addr = secret % 16
+    latency = cache.access(addr)
+    latencies.append(latency)
+    return latencies
+
+
+def helper_passthrough(value, trace):
+    # Interprocedural sink: callers passing taint into ``value`` leak.
+    trace.append(value)
+
+
+def interprocedural_leak(secret, trace):
+    # VIOLATION (R1): the leak happens one call away.
+    helper_passthrough(secret, trace)

@@ -1,0 +1,71 @@
+"""SC-2 scope must cover the analysis subsystem.
+
+Since PR 6, ``analysis.capacity.mutual_information_from_samples`` is
+the single MI estimator behind synth fitness *and* campaign reports:
+an unseeded RNG or set-order dependency there silently breaks
+same-seed reproducibility of every reported number.  The shipped
+package must lint clean, and seeded violations must be caught.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.statcheck import run_lint
+from repro.statcheck.runner import _SCOPE_SEGMENTS
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestAnalysisScope:
+    def test_analysis_segment_is_in_sc2_scope(self):
+        assert "analysis" in _SCOPE_SEGMENTS["SC-2"]
+
+    def test_shipped_analysis_tree_lints_clean(self):
+        report = run_lint(
+            paths=[str(REPO / "src" / "repro" / "analysis")],
+            baseline_path=str(REPO / "statcheck.baseline.json"),
+        )
+        assert report.clean, "\n".join(f.render() for f in report.findings)
+        assert report.files_analyzed >= 3
+
+    def test_seeded_global_rng_in_estimator_is_caught(self, tmp_path):
+        analysis = tmp_path / "analysis"
+        shutil.copytree(REPO / "src" / "repro" / "analysis", analysis)
+        capacity = analysis / "capacity.py"
+        source = capacity.read_text()
+        needle = "def mutual_information_from_samples("
+        assert needle in source, "capacity.py changed; update this fixture"
+        capacity.write_text(source.replace(
+            needle,
+            "def _jitter():\n"
+            "    import random\n"
+            "    return random.random()\n\n\n" + needle,
+            1,
+        ))
+        report = run_lint(paths=[str(analysis)])
+        assert not report.clean
+        assert any(
+            f.checker == "SC-2" and f.rule == "global-rng"
+            and f.path.endswith("capacity.py")
+            for f in report.findings
+        ), [f.render() for f in report.findings]
+
+    def test_seeded_wall_clock_in_estimator_is_caught(self, tmp_path):
+        analysis = tmp_path / "analysis"
+        shutil.copytree(REPO / "src" / "repro" / "analysis", analysis)
+        capacity = analysis / "capacity.py"
+        source = capacity.read_text()
+        needle = "def mutual_information_from_samples("
+        assert needle in source, "capacity.py changed; update this fixture"
+        capacity.write_text(source.replace(
+            needle,
+            "def _stamp():\n"
+            "    import time\n"
+            "    return time.time()\n\n\n" + needle,
+            1,
+        ))
+        report = run_lint(paths=[str(analysis)])
+        assert any(
+            f.checker == "SC-2" and f.rule == "wall-clock"
+            for f in report.findings
+        ), [f.render() for f in report.findings]

@@ -97,3 +97,72 @@ class TestBaseline:
             baseline_path=str(repo / "statcheck.baseline.json"),
         )
         assert report.stale_suppressions == []
+
+
+def _nondet_module():
+    report = run_lint(
+        paths=[str(FIXTURES / "nondet.py")],
+        checkers=["SC-2"], all_scopes=True,
+    )
+    return next(
+        f.module for f in report.findings if f.rule == "wall-clock"
+    )
+
+
+class TestPrune:
+    def test_prune_removes_only_stale_entries(self, tmp_path):
+        live_key = f"SC-2:{_nondet_module()}:*:wall-clock"
+        baseline = write_baseline(tmp_path, [
+            {"key": live_key,
+             "justification": "fixture waiver, still live"},
+            {"key": "SC-2:no.such.module:*:wall-clock",
+             "justification": "matches nothing"},
+        ])
+        report = run_lint(
+            paths=[str(FIXTURES / "nondet.py")],
+            checkers=["SC-2"], all_scopes=True, baseline_path=baseline,
+        )
+        assert report.stale_suppressions == [
+            "SC-2:no.such.module:*:wall-clock"
+        ]
+        pruned = report.baseline.prune()
+        assert pruned == ["SC-2:no.such.module:*:wall-clock"]
+        rewritten = json.loads(Path(baseline).read_text())
+        keys = [e["key"] for e in rewritten["suppressions"]]
+        assert keys == [live_key]
+        # Live entries keep their justification verbatim.
+        assert rewritten["suppressions"][0]["justification"] == (
+            "fixture waiver, still live"
+        )
+
+    def test_prune_is_a_noop_when_tight(self, tmp_path):
+        baseline = write_baseline(tmp_path, [
+            {"key": f"SC-2:{_nondet_module()}:*:wall-clock",
+             "justification": "fixture waiver, still live"},
+        ])
+        before = Path(baseline).read_text()
+        report = run_lint(
+            paths=[str(FIXTURES / "nondet.py")],
+            checkers=["SC-2"], all_scopes=True, baseline_path=baseline,
+        )
+        assert report.baseline.prune() == []
+        assert Path(baseline).read_text() == before
+
+    def test_pruned_payload_preserves_extra_top_level_keys(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "_comment": "hand-maintained",
+            "suppressions": [
+                {"key": "SC-2:no.such.module:*:wall-clock",
+                 "justification": "gone"},
+            ],
+        }))
+        report = run_lint(
+            paths=[str(FIXTURES / "nondet.py")],
+            checkers=["SC-2"], all_scopes=True, baseline_path=str(path),
+        )
+        payload = report.baseline.pruned_payload()
+        assert payload["_comment"] == "hand-maintained"
+        assert payload["version"] == 1
+        assert payload["suppressions"] == []

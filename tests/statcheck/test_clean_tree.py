@@ -19,8 +19,29 @@ class TestCleanTree:
         )
         assert report.clean, "\n".join(f.render() for f in report.findings)
         assert report.exit_code == 0
-        assert report.checkers_run == ["SC-1", "SC-2", "SC-3"]
+        assert report.checkers_run == ["SC-1", "SC-2", "SC-3", "SC-4"]
         assert report.files_analyzed > 50
+
+    def test_parallel_parse_matches_serial(self):
+        serial = run_lint(
+            paths=[str(REPO / "src" / "repro")],
+            baseline_path=str(REPO / "statcheck.baseline.json"),
+        )
+        parallel = run_lint(
+            paths=[str(REPO / "src" / "repro")],
+            baseline_path=str(REPO / "statcheck.baseline.json"),
+            jobs=4,
+        )
+        assert parallel.files_analyzed == serial.files_analyzed
+        assert (
+            [f.to_json() for f in parallel.findings]
+            == [f.to_json() for f in serial.findings]
+        )
+        assert (
+            [f.to_json() for f in parallel.suppressed]
+            == [f.to_json() for f in serial.suppressed]
+        )
+        assert parallel.stale_suppressions == serial.stale_suppressions
 
     def test_suppressions_limited_to_campaign_wall_clock(self):
         # The baseline must stay an explicit, narrow list: only the
@@ -46,3 +67,4 @@ class TestCleanTree:
         assert any(r.startswith("SC-1 [PASS]") for r in rendered)
         assert any(r.startswith("SC-2 [PASS]") for r in rendered)
         assert any(r.startswith("SC-3 [PASS]") for r in rendered)
+        assert any(r.startswith("SC-4 [PASS]") for r in rendered)

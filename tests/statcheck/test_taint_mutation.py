@@ -1,0 +1,105 @@
+"""SC-4 mutation self-tests: seeded leaks in the real kernel tree.
+
+Copies ``src/repro/kernel`` to a temp dir, splices a leak into the
+switch path, and asserts the checker reports it with file:line and exit
+code 1 -- while the unmutated tree stays clean with zero new waivers.
+These are the leaks the runtime obligations cannot see (the secret
+rides in switch records bound for the *Hi* domain, which no Lo
+comparison ever reads -- see EXPERIMENTS.md E16).
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.cli import main
+from repro.statcheck import run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Insertion anchors in ``kernel/switch.py``; the mutation tests fail
+#: loudly if refactors move them.
+DIRECT_ANCHOR = "        finished_at = core.clock.now\n"
+DIRECT_LEAK = (
+    '        post_flush["secret"] = to_domain.threads[0].params["secret"]\n'
+)
+IMPLICIT_ANCHOR = (
+    "            pad_target = scheduled_at + from_domain.pad_cycles\n"
+)
+IMPLICIT_LEAK = (
+    '            if to_domain.threads[0].params["secret"] % 2:\n'
+    "                pad_target = pad_target - 32\n"
+)
+
+
+def _mutated_kernel(tmp_path, anchor, insertion, before=False):
+    kernel = tmp_path / "kernel"
+    shutil.copytree(REPO / "src" / "repro" / "kernel", kernel)
+    switch_py = kernel / "switch.py"
+    source = switch_py.read_text()
+    assert anchor in source, "mutation anchor moved; update the test"
+    replacement = insertion + anchor if before else anchor + insertion
+    switch_py.write_text(source.replace(anchor, replacement, 1))
+    return kernel
+
+
+class TestDirectLeakMutation:
+    def test_secret_into_switch_record_caught(self, tmp_path):
+        kernel = _mutated_kernel(
+            tmp_path, DIRECT_ANCHOR, DIRECT_LEAK, before=True
+        )
+        report = run_lint([str(kernel)], checkers=["SC-4"])
+        assert report.exit_code == 1
+        direct = [f for f in report.findings if f.rule == "direct-flow"]
+        assert direct, "seeded direct leak not caught"
+        assert all(f.qualname == "SwitchPath.execute" for f in direct)
+        assert any("SwitchRecord" in f.message for f in direct)
+        for finding in direct:
+            assert "switch.py:" in finding.render()
+
+    def test_cli_exit_one_with_location(self, tmp_path, capsys):
+        kernel = _mutated_kernel(
+            tmp_path, DIRECT_ANCHOR, DIRECT_LEAK, before=True
+        )
+        assert main(["lint", str(kernel)]) == 1
+        out = capsys.readouterr().out
+        assert "SC-4 [FAIL]" in out
+        assert "switch.py:" in out
+
+
+class TestImplicitLeakMutation:
+    def test_secret_guarded_pad_shortcut_caught(self, tmp_path):
+        kernel = _mutated_kernel(tmp_path, IMPLICIT_ANCHOR, IMPLICIT_LEAK)
+        report = run_lint([str(kernel)], checkers=["SC-4"])
+        assert report.exit_code == 1
+        implicit = [
+            f for f in report.findings if f.rule == "implicit-flow"
+        ]
+        assert len(implicit) == 1
+        finding = implicit[0]
+        assert finding.qualname == "SwitchPath.execute"
+        assert "pad_target" in finding.message
+        assert "switch.py:" in finding.render()
+
+    def test_cli_exit_one(self, tmp_path, capsys):
+        kernel = _mutated_kernel(tmp_path, IMPLICIT_ANCHOR, IMPLICIT_LEAK)
+        assert main(["lint", str(kernel)]) == 1
+        assert "SC-4 [FAIL]" in capsys.readouterr().out
+
+
+class TestCleanTreeZeroWaivers:
+    def test_unmutated_kernel_clean(self):
+        report = run_lint(
+            [str(REPO / "src" / "repro" / "kernel")], checkers=["SC-4"]
+        )
+        assert report.clean, "\n".join(f.render() for f in report.findings)
+
+    def test_full_tree_sc4_clean_without_any_waiver(self):
+        # The acceptance bar: SC-4 over the shipped tree needs *zero*
+        # baseline entries -- suppressing nothing, not even once.
+        report = run_lint(
+            [str(REPO / "src" / "repro")],
+            baseline_path=str(REPO / "statcheck.baseline.json"),
+            checkers=["SC-4"],
+        )
+        assert report.clean
+        assert report.suppressed == []
