@@ -40,13 +40,18 @@ def l1_trojan(ctx: ProgramContext):
     """Hammer one L1 set (page-offset addressed) forever."""
     symbol = ctx.params["symbol"]
     n_pages = ctx.data_size // ctx.page_size
+    # Instructions are immutable, so the hammer sequence is built once.
+    accesses = [
+        Access(
+            ctx.data_base + page * ctx.page_size + symbol * ctx.line_size,
+            write=True,
+            value=symbol,
+        )
+        for page in range(n_pages)
+    ]
     while True:
-        for page in range(n_pages):
-            yield Access(
-                ctx.data_base + page * ctx.page_size + symbol * ctx.line_size,
-                write=True,
-                value=symbol,
-            )
+        for access in accesses:
+            yield access
 
 
 def l1_spy(ctx: ProgramContext):
@@ -63,29 +68,40 @@ def l1_spy(ctx: ProgramContext):
     ways_pages = ctx.params.get("prime_pages", 2)
     results: List[int] = ctx.params["results"]
     rounds = ctx.params.get("rounds", 6)
+    # Instructions are immutable; build the prime walk, per-set probe
+    # lines, timer and sleep once and replay them every round.
+    read_time = ReadTime()
+    sleep = Syscall("sleep", (ctx.params["sleep_cycles"],))
+    prime = [
+        Access(ctx.data_base + page * ctx.page_size + set_index * ctx.line_size)
+        for page in range(ways_pages)
+        for set_index in range(n_sets)
+    ]
+    probe_lines = [
+        [
+            Access(ctx.data_base + page * ctx.page_size + set_index * ctx.line_size)
+            for page in range(ways_pages)
+        ]
+        for set_index in range(n_sets)
+    ]
 
     def probe():
         latencies = []
-        for set_index in range(n_sets):
-            t0 = yield ReadTime()
-            for page in range(ways_pages):
-                yield Access(
-                    ctx.data_base + page * ctx.page_size + set_index * ctx.line_size
-                )
-            t1 = yield ReadTime()
+        for lines in probe_lines:
+            t0 = yield read_time
+            for access in lines:
+                yield access
+            t1 = yield read_time
             latencies.append(t1.value - t0.value)
         return latencies
 
     for _round in range(rounds):
         # Prime: cover every set with `ways_pages` lines.
-        for page in range(ways_pages):
-            for set_index in range(n_sets):
-                yield Access(
-                    ctx.data_base + page * ctx.page_size + set_index * ctx.line_size
-                )
+        for access in prime:
+            yield access
         baseline = yield from probe()
         # Sleep through (at least) one Trojan slice.
-        yield Syscall("sleep", (ctx.params["sleep_cycles"],))
+        yield sleep
         after = yield from probe()
         delta = [after[s] - baseline[s] for s in range(n_sets)]
         slowest = max(range(n_sets), key=lambda s: delta[s])

@@ -110,11 +110,13 @@ class CompareReport:
         for row in self.rows:
             base = row["baseline_ns_per_op"]
             ratio = row["ratio"]
+            # Benches absent from the baseline (status "new") have no
+            # numbers to show; render placeholders instead of crashing.
+            base_text = "-" if base is None else format(base, ".1f")
+            ratio_text = "-" if ratio is None else format(ratio, ".2f")
             lines.append(
                 f"{row['bench']:<22} {row['ns_per_op']:>12.1f} "
-                f"{base if base is None else format(base, '.1f'):>12} "
-                f"{ratio if ratio is None else format(ratio, '.2f'):>7}"
-                f"  {row['status']}"
+                f"{base_text:>12} {ratio_text:>7}  {row['status']}"
             )
         verdict = "PASS" if self.passed else (
             f"FAIL ({len(self.regressions)} bench(es) over "

@@ -164,6 +164,99 @@ def _run_statcheck_lint():
     }
 
 
+def _run_batch_step() -> int:
+    # The lockstep engine as a batch of one: the same e2 workload as
+    # ``e2_l1_primeprobe``, with every machine routed through
+    # repro.hardware.batch via the engine override.  The ratio of this
+    # bench to ``e2_l1_primeprobe`` is the batch engine's per-step tax
+    # before amortization across lanes.
+    from ..hardware.machine import engine_override
+
+    counter = _StepCounter()
+    with engine_override("batch"):
+        for tp in _both_tp_configs():
+            primeprobe.l1_experiment(
+                tp,
+                presets.tiny_machine,
+                symbols=(2, 4),
+                rounds_per_run=5,
+                on_kernel=counter,
+            )
+    return counter.steps
+
+
+def _run_batch_secret_swap():
+    # The batched sweep's reason to exist: N-secret noninterference on
+    # the e2 prime+probe workload, run once as a scalar loop (2(N-1)
+    # full runs) and once as a single N-lane lockstep batch.  The
+    # scenario *asserts* the two verdict lists are identical -- a
+    # regression here fails the bench, not just the tests -- and reports
+    # the measured speedup as a side metric.  Ops counts the simulated
+    # steps of both sides, so ns/op stays comparable across scenarios.
+    import time
+
+    from ..core.noninterference import batched_secret_sweep, sweep_secrets
+
+    rounds = 3
+    hi_slice = 4000
+    n_lanes = 64
+    counter = _StepCounter()
+    geometry = presets.tiny_config().l1d_geometry
+    lo_slice = max(12000, geometry.sets * geometry.ways * 80)
+    max_cycles = rounds * 60 * lo_slice
+    tp = TimeProtectionConfig.full()
+
+    def build(secret: int) -> Kernel:
+        machine = presets.tiny_machine()
+        kernel = Kernel(machine, tp)
+        hi = kernel.create_domain("Hi", n_colours=2, slice_cycles=hi_slice)
+        lo = kernel.create_domain("Lo", n_colours=2, slice_cycles=lo_slice)
+        kernel.create_thread(
+            hi, primeprobe.l1_trojan, params={"symbol": secret},
+            data_pages=geometry.ways,
+        )
+        results = []
+        kernel.create_thread(
+            lo, primeprobe.l1_spy,
+            params={
+                "l1_sets": geometry.sets,
+                "prime_pages": geometry.ways,
+                "results": results,
+                "rounds": rounds,
+                "sleep_cycles": lo_slice + hi_slice // 2,
+            },
+            data_pages=geometry.ways,
+        )
+        kernel.set_schedule(0, [(hi, None), (lo, None)])
+        return kernel
+
+    def build_and_run(secret: int) -> Kernel:
+        kernel = build(secret)
+        kernel.run(max_cycles=max_cycles)
+        counter(kernel)
+        return kernel
+
+    secrets = [secret % geometry.sets for secret in range(n_lanes)]
+    scalar_started = time.perf_counter()
+    scalar = sweep_secrets(build_and_run, secrets, "Lo")
+    batched_started = time.perf_counter()
+    batched = batched_secret_sweep(
+        build, secrets, "Lo", max_cycles, on_kernel=counter
+    )
+    batched_elapsed = time.perf_counter() - batched_started
+    scalar_elapsed = batched_started - scalar_started
+    if [str(r) for r in scalar] != [str(r) for r in batched]:
+        raise RuntimeError(
+            "batched secret sweep diverged from the scalar loop"
+        )
+    return counter.steps, {
+        "lanes": float(n_lanes),
+        "scalar_s": round(scalar_elapsed, 3),
+        "batched_s": round(batched_elapsed, 3),
+        "speedup_vs_scalar": round(scalar_elapsed / batched_elapsed, 2),
+    }
+
+
 def _run_e5_switch_latency() -> int:
     counter = _StepCounter()
     for tp in _both_tp_configs():
@@ -199,6 +292,17 @@ SCENARIOS: Dict[str, Scenario] = {
             "e5_switch_latency",
             "dirty-line switch-latency channel on tiny, tp none+full",
             _run_e5_switch_latency,
+        ),
+        Scenario(
+            "batch_step",
+            "lockstep engine as a batch of one on the e2 workload",
+            _run_batch_step,
+        ),
+        Scenario(
+            "batch_secret_swap",
+            "64-secret noninterference sweep, scalar loop vs one lockstep "
+            "batch (asserts identical verdicts)",
+            _run_batch_secret_swap,
         ),
         Scenario(
             "synth_generation",

@@ -11,13 +11,16 @@ Eight subcommands::
     repro-tp campaign [--machines M1,M2] [--tps T1,T2] [--attacks A1,A2]
                       [--seeds 0,1] [--workers N] [--store results.jsonl]
                       [--instrumentation full|counting] [--genomes FILE]
+                      [--engine scalar|batch]
     repro-tp synth    [--machine M] [--tp T] [--victim V] [--generations N]
                       [--population N] [--seed N] [--jobs N] [--save FILE]
-                      [--threshold BITS] [--format text|json]
+                      [--threshold BITS] [--engine scalar|batch]
+                      [--format text|json]
     repro-tp lint     [paths ...] [--format text|json] [--baseline FILE]
                       [--jobs N] [--strict] [--prune-baseline]
     repro-tp bench    [--record | --compare] [--benches B1,B2]
                       [--repeats N] [--tolerance F] [--file PATH]
+                      [--engine scalar|batch]
 
 ``prove`` runs the full Sect. 5 argument (obligations, case split,
 unwinding, two-run noninterference) on a standard two-domain system and
@@ -262,6 +265,7 @@ def cmd_campaign(args) -> int:
             attacks=attacks,
             seeds=tuple(int(s) for s in args.seeds.split(",") if s.strip()),
             instrumentation=args.instrumentation,
+            engine=args.engine,
         )
     try:
         trials = spec.trials()
@@ -331,6 +335,10 @@ def cmd_synth(args) -> int:
         evaluator = CampaignEvaluator(
             env, args.store, n_workers=args.jobs, seed=args.seed
         )
+    elif args.engine == "batch":
+        # One lockstep batch per generation; bit-identical scores to the
+        # serial map (scalar fallback outside the batch envelope).
+        evaluator = env.evaluate_population
     text = args.format == "text"
     log = print if text and not args.quiet else None
     search = EvolutionSearch(
@@ -430,9 +438,12 @@ def cmd_bench(args) -> int:
         write_baseline,
     )
 
+    from .hardware.machine import engine_override
+
     names = [b.strip() for b in args.benches.split(",") if b.strip()] or None
     try:
-        results = run_benches(names, repeats=args.repeats)
+        with engine_override(args.engine if args.engine != "scalar" else None):
+            results = run_benches(names, repeats=args.repeats)
     except KeyError as error:
         print(f"bench error: {error.args[0]}", file=sys.stderr)
         return 2
@@ -531,6 +542,12 @@ def build_parser() -> argparse.ArgumentParser:
                           default="full",
                           help="touch instrumentation fidelity: 'counting' "
                                "trades proof-grade evidence for throughput")
+    campaign.add_argument("--engine", choices=("scalar", "batch"),
+                          default="scalar",
+                          help="stepping engine for every trial; 'batch' "
+                               "uses the lockstep numpy engine and falls "
+                               "back to scalar per-trial outside its "
+                               "envelope")
     campaign.add_argument("--workers", type=int, default=0,
                           help="worker processes (0 = one per available CPU)")
     campaign.add_argument("--store", default="campaign_results.jsonl",
@@ -573,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--jobs", type=int, default=1,
                        help="campaign-pool workers per generation "
                             "(1 = in-process serial)")
+    synth.add_argument("--engine", choices=("scalar", "batch"),
+                       default="scalar",
+                       help="generation evaluator: 'batch' scores each "
+                            "generation as one lockstep batch (ignored "
+                            "when --jobs > 1)")
     synth.add_argument("--store", default="synth_fitness.jsonl",
                        help="JSONL fitness cache for --jobs > 1")
     synth.add_argument("--threshold", type=float, default=-1.0,
@@ -629,6 +651,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated bench names (default: all)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed runs per bench (median is kept)")
+    bench.add_argument("--engine", choices=("scalar", "batch"),
+                       default="scalar",
+                       help="force every machine a scenario builds onto "
+                            "this stepping engine")
     bench.add_argument("--tolerance", type=float, default=1.0,
                        help="allowed slowdown fraction for --compare "
                             "(1.0 = fail only beyond 2x baseline)")

@@ -1,0 +1,19 @@
+"""The vectorized batch machine engine.
+
+Steps a batch of independent machines in lockstep over numpy state
+arrays, bit-identical to the scalar engine (enforced by the differential
+golden suite).  Select it with ``MachineConfig(engine="batch")``, the
+``engine_override`` context manager, or the batch presets in
+``repro.hardware.presets``; drive a batch directly with
+:func:`run_lockstep` or through a :class:`BatchMachine`.
+"""
+
+from .engine import BatchMachine, run_lockstep
+from .support import BatchUnsupported, check_batchable
+
+__all__ = [
+    "BatchMachine",
+    "BatchUnsupported",
+    "check_batchable",
+    "run_lockstep",
+]

@@ -1,0 +1,976 @@
+"""The lockstep batch engine: many machines, one wave at a time.
+
+``run_lockstep(kernels, ...)`` runs N independent (kernel, machine)
+pairs to completion with the exact observable behaviour of calling
+``kernel.run(...)`` on each -- observation traces, switch records,
+clocks, and every microarchitectural fingerprint are bit-identical (the
+differential golden suite in ``tests/integration`` enforces this).
+
+Design: a hybrid data-plane/control-plane split.
+
+* The *data plane* -- cache tags/stamps, TLB, prefetcher table,
+  interconnect bus -- lives in numpy arrays with a lane axis
+  (:class:`~repro.hardware.batch.state.BatchHardware`).  One wave
+  resolves the fetch translation, instruction fetch, data translation
+  and data access of every lane with a handful of vector operations on
+  shrinking miss subsets.
+* The *control plane* -- scheduler, TCBs, generator programs, endpoint
+  tables, memory words, branch predictor dictionaries -- stays on the
+  per-lane scalar Python objects, mutated in place.  Programs are
+  arbitrary Python generators; there is nothing to vectorize there, and
+  keeping the real objects means evidence consumers (observation
+  traces, switch records, ``machine.fingerprint_all()``) read the same
+  structures scalar runs produce.
+
+Lockstep is in *step count*, not in time: lanes are fully independent
+machines, so their clocks diverge freely and no cross-lane ordering is
+needed.  The one divergence-handling rule is for domain switches, whose
+48-line kernel walk is only worth vectorizing across lanes: a lane that
+reaches its switch point parks in a pending set, and the set switches
+as one vector group once no unparked lane remains in the wave.  Under
+padded schedules every lane reaches the same deterministic switch
+point, so parking turns per-lane switch dribble into full-width vector
+groups -- nothing couples lanes, so any grouping is legal and
+bit-identical.
+Lift at entry / sync-back at exit make the engine a drop-in
+replacement mid-lifetime: state built by scalar runs is continued
+exactly, and scalar code can resume after the batch returns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ...kernel.kernel import ObservationRecord, _TIMER_TICK_CYCLES
+from ...kernel.objects import ThreadState
+from ...kernel.switch import SWITCH_CODE_LINES, SwitchRecord
+from ...kernel.syscalls import _HANDLER_BASE_CYCLES, _OP_COSTS, UnknownSyscall
+from ..isa import (
+    Access,
+    Branch,
+    Compute,
+    FlushLine,
+    Halt,
+    Observation,
+    ReadTime,
+    Syscall,
+)
+from ..machine import Machine, MachineConfig
+from .state import _ASID_SHIFT, BatchHardware
+from .support import BatchUnsupported, check_batchable
+
+_INT = np.int64
+_EMPTY_OBS = Observation()
+_READY = ThreadState.READY
+_DONE = ThreadState.DONE
+_FAULTED = ThreadState.FAULTED
+
+# Triage verdicts.
+_RETIRE, _STALL, _STEPPED, _EXEC = range(4)
+
+# Syscalls whose semantics need scalar-only machinery (blocked receivers,
+# IRQ scheduling).
+_UNSUPPORTED_OPS = frozenset({"recv", "io_submit"})
+
+
+class _Lane:
+    """Per-lane control state: one kernel/machine pair in the batch."""
+
+    __slots__ = (
+        "kernel", "machine", "core", "core_id", "idx", "sched",
+        "clock", "steps", "max_steps", "max_cycles", "switch_at",
+        "guard", "domain",
+        "current", "finish_needed", "pending_switch",
+        "cur_space", "cur_asid", "trans",
+        "bcounters", "btb", "btb_order", "bhist", "bhmask", "btable",
+        "bbtb_max", "bflush_cycles",
+        "words", "observations", "record_obs", "images", "kdata",
+        "flush_on", "pad_on", "record_fp",
+        "instr", "pc", "fcyc", "dcyc", "dpaddr", "fault",
+    )
+
+    def __init__(self, kernel, idx: int, max_cycles: int, max_steps: int):
+        self.kernel = kernel
+        machine = kernel.machine
+        self.machine = machine
+        core_id = kernel.scheduler.scheduled_cores()[0]
+        self.core_id = core_id
+        core = machine.cores[core_id]
+        self.core = core
+        self.idx = idx
+        self.sched = kernel.scheduler.state(core_id)
+        self.clock = core.clock.now
+        self.steps = 0
+        self.max_cycles = max_cycles
+        self.max_steps = max_steps
+        self.current = kernel._current_tcb.get(core_id)
+        self.cur_space = None
+        self.cur_asid = 0
+        if self.current is not None:
+            self.cur_space = self.current.space
+            self.cur_asid = self.current.space.asid
+        self.finish_needed = True
+        self.pending_switch = None
+        self.trans = {}
+        branch = core.branch
+        self.bcounters, self.btb, self.btb_order, self.bhist = (
+            branch.audit_state()
+        )
+        self.bhmask = branch.history_mask
+        self.btable = branch.table_size
+        self.bbtb_max = branch.btb_entries
+        self.bflush_cycles = branch.flush_latency_cycles
+        self.words = machine.memory._words
+        self.observations = kernel.observations
+        self.record_obs = kernel.record_observations
+        self.images = {
+            name: [
+                domain.kernel_image.line_paddr(line)
+                for line in range(kernel.KERNEL_TEXT_LINES)
+            ]
+            for name, domain in kernel.domains.items()
+        }
+        self.kdata = list(kernel.kernel_data_paddrs)
+        self.flush_on = kernel.tp.flush_on_switch
+        self.pad_on = kernel.tp.pad_switch
+        self.record_fp = kernel.switch_path.record_fingerprints
+        self.instr = None
+        self.pc = 0
+        self.fcyc = 0
+        self.dcyc = 0
+        self.dpaddr = 0
+        self.fault = False
+        _refresh_switch_at(self)
+
+    def sync_back(self, hw: BatchHardware) -> None:
+        hw.sync_back(self.idx, self.core, self.machine)
+        self.core.clock.now = self.clock
+        branch = self.core.branch
+        branch._counters = self.bcounters
+        branch._btb = self.btb
+        branch._btb_order = self.btb_order
+        branch._history = self.bhist
+        kernel = self.kernel
+        kernel._current_tcb[self.core_id] = self.current
+        kernel._finish_check_needed = self.finish_needed
+        kernel.total_steps += self.steps
+
+
+def _refresh_switch_at(lane: _Lane) -> None:
+    state = lane.sched
+    forced = state.forced_switch_at
+    slice_end = state.slice_end
+    switch_at = (
+        slice_end if forced is None or forced >= slice_end else forced
+    )
+    lane.switch_at = switch_at
+    # One fused bound for the hot triage path: below it there is no
+    # switch and no horizon retire.  (The schedule position is stable
+    # between refreshes, so the current domain is cached here too.)
+    max_cycles = lane.max_cycles
+    lane.guard = switch_at if switch_at < max_cycles else max_cycles
+    lane.domain = state.entries[state.position][0]
+
+
+def _idle(lane: _Lane, domain, now: int) -> None:
+    """Replica of ``Kernel._idle`` inside the envelope (no IRQs, no
+    blocked receivers)."""
+    switch_at = lane.switch_at
+    targets = [switch_at]
+    wake = domain.earliest_wake(lane.core_id, now)
+    if wake is not None:
+        targets.append(wake)
+    future = [t for t in targets if t > now]
+    target = min(future) if future else switch_at
+    target = min(target, switch_at)
+    if target > now:
+        lane.clock = target
+    if lane.clock <= now:
+        lane.clock = now + 1
+
+
+def _triage(lane: _Lane, groups: Dict, hw: BatchHardware) -> int:
+    """One scalar run-loop iteration up to the instruction dispatch."""
+    clock = lane.clock
+    if lane.steps >= lane.max_steps:
+        return _RETIRE
+    if clock >= lane.guard:
+        # Slow path: at the horizon or at a switch point (guard is the
+        # minimum of the two; the scalar loop checks in this order).
+        if clock >= lane.max_cycles:
+            return _RETIRE
+        if lane.finish_needed:
+            if lane.kernel._all_threads_finished():
+                return _RETIRE
+            lane.finish_needed = False
+        state = lane.sched
+        entries = state.entries
+        from_domain = entries[state.position][0]
+        forced = state.forced_next
+        to_domain = (
+            forced
+            if forced is not None
+            else entries[(state.position + 1) % len(entries)][0]
+        )
+        if from_domain is to_domain:
+            # Intra-domain slice rollover: timer tick only, no flush,
+            # no padding, current thread kept.
+            lane.clock = clock + _TIMER_TICK_CYCLES
+            lane.kernel.scheduler.advance(
+                lane.core_id, release_time=lane.clock
+            )
+            _refresh_switch_at(lane)
+            lane.steps += 1
+            return _STEPPED
+        lane.pending_switch = (from_domain, to_domain, lane.switch_at)
+        return _STALL
+    if lane.finish_needed:
+        if lane.kernel._all_threads_finished():
+            return _RETIRE
+        lane.finish_needed = False
+    # No IRQ delivery and no blocked receivers inside the envelope.
+    tcb = lane.current
+    if not (
+        tcb is not None
+        and tcb.domain is lane.domain
+        and tcb.state is _READY
+        and (tcb.wake_time is None or clock >= tcb.wake_time)
+    ):
+        tcb = lane.domain.next_runnable(lane.core_id, clock)
+        lane.current = tcb
+        if tcb is not None:
+            space = tcb.space
+            lane.cur_space = space
+            lane.cur_asid = space.asid
+            hw.asid_key[lane.idx] = space.asid << _ASID_SHIFT
+    if tcb is None:
+        _idle(lane, lane.domain, clock)
+        lane.steps += 1
+        return _STEPPED
+    delivered = tcb.pending_obs
+    tcb.pending_obs = None
+    try:
+        if tcb.started:
+            instruction = tcb.program.send(
+                delivered if delivered is not None else _EMPTY_OBS
+            )
+        else:
+            instruction = next(tcb.program)
+            tcb.started = True
+    except StopIteration:
+        tcb.state = _DONE
+        lane.finish_needed = True
+        lane.current = None
+        lane.clock = clock + 1
+        lane.steps += 1
+        return _STEPPED
+    code_size = tcb.code_size
+    pc = tcb.pc
+    if code_size > 0:
+        rel = pc - tcb.code_base
+        if rel < 0 or rel >= code_size:
+            pc = tcb.code_base + rel % code_size
+            tcb.pc = pc
+    lane.pc = pc
+    lane.instr = instruction
+    lane.fault = False
+    bucket = groups.get(instruction.__class__)
+    if bucket is None:
+        raise TypeError(f"unknown instruction {instruction!r}")
+    bucket.append(lane)
+    return _EXEC
+
+
+def _fault_lane(lane: _Lane, cycles_so_far: int, trap_entry: int) -> None:
+    lane.clock += cycles_so_far + trap_entry
+    tcb = lane.current
+    # new_pc == pc for faults; pc was already normalised in place.
+    tcb.steps_executed += 1
+    tcb.state = _FAULTED
+    lane.finish_needed = True
+    lane.current = None
+    lane.fault = True
+    lane.steps += 1
+
+
+def _translate(hw: BatchHardware, lanes: List[_Lane], g, vaddr, now):
+    """Vectorized ``Core.translate``: returns (cycles, paddr, fault).
+
+    TLB hits are one gather; misses resolve through a per-lane static
+    translation cache (address spaces do not change during a run) and
+    charge the page-table walk through the data hierarchy exactly as the
+    scalar walk does -- including for addresses that turn out to be
+    unmapped (the scalar walk runs before the fault is raised).  The
+    returned ``fault`` is ``None`` when no lane faulted (the common
+    case), so callers skip per-lane fault triage entirely.
+    """
+    n = len(lanes)
+    vpage = vaddr >> hw.page_shift
+    key = hw.asid_key[g] | vpage
+    hit, frame = hw.tlb.lookup(g, key)
+    if hit is None:
+        paddr = frame * hw.page_size + (vaddr & hw.page_mask)
+        return hw.tlb_hit_cycles, paddr, None
+    idxs = np.nonzero(~hit)[0]
+    cycles = np.full(n, hw.tlb_hit_cycles, _INT)
+    paddr = np.zeros(n, _INT)
+    hit_idx = np.nonzero(hit)[0]
+    if hit_idx.size:
+        paddr[hit_idx] = frame * hw.page_size + (vaddr[hit_idx] & hw.page_mask)
+    k = len(idxs)
+    frame_m = np.empty(k, _INT)
+    base_m = np.empty(k, _INT)
+    writable_m = np.empty(k, bool)
+    gen_m = np.empty(k, _INT)
+    walk0 = np.empty(k, _INT)
+    walk1 = np.empty(k, _INT)
+    fault_m = np.zeros(k, bool)
+    any_fault = False
+    vpage_list = vpage[idxs].tolist()
+    vaddr_list = vaddr[idxs].tolist()
+    for j, i in enumerate(idxs.tolist()):
+        lane = lanes[i]
+        vp = vpage_list[j]
+        tkey = (lane.cur_asid, vp)
+        entry = lane.trans.get(tkey)
+        if entry is None:
+            space = lane.cur_space
+            walk = space.walk_addresses(vaddr_list[j])
+            mapping = space._mappings.get(vp)
+            if mapping is None:
+                entry = (None, 0, False, 0, walk[0], walk[1])
+            else:
+                entry = (
+                    mapping.frame.number,
+                    mapping.frame.base_paddr(space.page_size),
+                    mapping.writable,
+                    space.generation,
+                    walk[0],
+                    walk[1],
+                )
+            lane.trans[tkey] = entry
+        if entry[0] is None:
+            any_fault = True
+            fault_m[j] = True
+            frame_m[j] = 0
+            base_m[j] = 0
+            writable_m[j] = False
+            gen_m[j] = 0
+        else:
+            frame_m[j] = entry[0]
+            base_m[j] = entry[1]
+            writable_m[j] = entry[2]
+            gen_m[j] = entry[3]
+        walk0[j] = entry[4]
+        walk1[j] = entry[5]
+    g_m = g[idxs]
+    now_m = now[idxs]
+    walk_cycles = np.full(k, hw.walk_base_cycles, _INT)
+    walk_cycles += hw.chain(g_m, walk0, None, False, now_m)
+    walk_cycles += hw.chain(g_m, walk1, None, False, now_m)
+    if any_fault:
+        ok = ~fault_m
+        if ok.any():
+            hw.tlb.fill(
+                g_m[ok],
+                key[idxs][ok],
+                vpage[idxs][ok],
+                frame_m[ok],
+                writable_m[ok],
+                gen_m[ok],
+            )
+            paddr[idxs[ok]] = base_m[ok] + (vaddr[idxs][ok] & hw.page_mask)
+        fault = np.zeros(n, bool)
+        fault[idxs] = fault_m
+    else:
+        hw.tlb.fill(
+            g_m, key[idxs], vpage[idxs], frame_m, writable_m, gen_m
+        )
+        paddr[idxs] = base_m + (vaddr[idxs] & hw.page_mask)
+        fault = None
+    cycles[idxs] = walk_cycles
+    return cycles, paddr, fault
+
+
+def _finish_step(lane: _Lane, total: int, value, new_pc: int) -> None:
+    """Non-trap epilogue: clock, pc, observation, trace record."""
+    lane.clock += total
+    tcb = lane.current
+    tcb.pc = new_pc
+    tcb.steps_executed += 1
+    tcb.pending_obs = Observation(value, total)
+    if lane.record_obs:
+        lane.observations[tcb.domain.name].append(
+            ObservationRecord(tcb.name, value, total)
+        )
+    lane.steps += 1
+
+
+def _execute_wave(hw: BatchHardware, kmat, groups: Dict) -> None:
+    """Phase B: run every dispatched instruction, vectorized by kind.
+
+    ``ordered`` starts with the Access then FlushLine groups, so the
+    data-side lane subsets are prefix *views* of the wave arrays (free)
+    whenever no lane faulted -- the per-lane fault filtering only runs
+    on waves that actually contain a fault.
+    """
+    accesses = groups[Access]
+    flush_group = groups[FlushLine]
+    ordered = (
+        accesses + flush_group + groups[Compute]
+        + groups[ReadTime] + groups[Branch] + groups[Syscall] + groups[Halt]
+    )
+    if not ordered:
+        return
+    n = len(ordered)
+    if ordered == hw.prev_ordered:
+        # Wave membership repeats for long stretches (every lane in the
+        # same program phase); the lane-index gather array is identical
+        # then, so reuse it instead of rebuilding.
+        g = hw.prev_g
+    else:
+        g = np.array([lane.idx for lane in ordered], _INT)
+        hw.prev_ordered = ordered
+        hw.prev_g = g
+    now = np.array([lane.clock for lane in ordered], _INT)
+    pcs = np.array([lane.pc for lane in ordered], _INT)
+    # Instruction fetch: translate pc, then the I-side hierarchy.
+    tcyc, fetch_paddr, ffault = _translate(hw, ordered, g, pcs, now)
+    faulted = ffault is not None
+    if faulted:
+        ok_idx = np.nonzero(~ffault)[0]
+        icyc_full = np.zeros(n, _INT)
+        if ok_idx.size:
+            icyc_full[ok_idx] = hw.chain(
+                g[ok_idx], fetch_paddr[ok_idx], None, True, now[ok_idx]
+            )
+        fcyc = (hw.base_cycles + tcyc + icyc_full).tolist()
+        ffault_list = ffault.tolist()
+        for i, lane in enumerate(ordered):
+            if ffault_list[i]:
+                # Fetch fault: only the base cycle accrued before the trap.
+                _fault_lane(lane, hw.base_cycles, hw.trap_entry_cycles)
+            else:
+                lane.fcyc = fcyc[i]
+    else:
+        icyc = hw.chain(g, fetch_paddr, None, True, now)
+        total = hw.base_cycles + tcyc + icyc
+        if isinstance(total, int):
+            # Uniform wave: every lane TLB-hit and L1I-hit.
+            for lane in ordered:
+                lane.fcyc = total
+        else:
+            fcyc = total.tolist()
+            for i, lane in enumerate(ordered):
+                lane.fcyc = fcyc[i]
+
+    # Data-side translation for memory-touching kinds.
+    n_data = len(accesses) + len(flush_group)
+    if n_data:
+        if faulted:
+            data_lanes = [
+                lane
+                for lane in accesses + flush_group
+                if not lane.fault
+            ]
+            g_d = np.array([lane.idx for lane in data_lanes], _INT)
+            now_d = np.array([lane.clock for lane in data_lanes], _INT)
+        else:
+            data_lanes = ordered[:n_data] if n_data != n else ordered
+            g_d = g[:n_data]
+            now_d = now[:n_data]
+        if data_lanes:
+            vaddr = np.array(
+                [lane.instr.vaddr for lane in data_lanes], _INT
+            )
+            dcyc, dpaddr, dfault = _translate(
+                hw, data_lanes, g_d, vaddr, now_d
+            )
+            dpaddr_list = dpaddr.tolist()
+            if dfault is None:
+                if isinstance(dcyc, int):
+                    for i, lane in enumerate(data_lanes):
+                        lane.dcyc = dcyc
+                        lane.dpaddr = dpaddr_list[i]
+                else:
+                    dcyc_list = dcyc.tolist()
+                    for i, lane in enumerate(data_lanes):
+                        lane.dcyc = dcyc_list[i]
+                        lane.dpaddr = dpaddr_list[i]
+            else:
+                dcyc_list = dcyc.tolist()
+                faulted = True
+                dfault_list = dfault.tolist()
+                for i, lane in enumerate(data_lanes):
+                    if dfault_list[i]:
+                        # The walk ran, but its latency is discarded by
+                        # the trap (the scalar translate raises before
+                        # returning cycles).
+                        _fault_lane(lane, lane.fcyc, hw.trap_entry_cycles)
+                    else:
+                        lane.dcyc = dcyc_list[i]
+                        lane.dpaddr = dpaddr_list[i]
+
+    if accesses:
+        if faulted:
+            accesses = [lane for lane in accesses if not lane.fault]
+        if accesses:
+            n_acc = len(accesses)
+            if faulted:
+                g_a = np.array([lane.idx for lane in accesses], _INT)
+                now_a = np.array([lane.clock for lane in accesses], _INT)
+            else:
+                g_a = g[:n_acc]
+                now_a = now[:n_acc]
+            paddr = np.array([lane.dpaddr for lane in accesses], _INT)
+            instrs = [lane.instr for lane in accesses]
+            write = np.array([ins.write for ins in instrs], bool)
+            if not write.any():
+                write = None
+            cyc = hw.chain(g_a, paddr, write, False, now_a)
+            cyc_list = None if isinstance(cyc, int) else cyc.tolist()
+            for i, lane in enumerate(accesses):
+                instruction = instrs[i]
+                total = lane.fcyc + lane.dcyc + (
+                    cyc if cyc_list is None else cyc_list[i]
+                )
+                address = lane.dpaddr
+                if instruction.write:
+                    lane.words[address] = instruction.value
+                    value = instruction.value
+                else:
+                    value = lane.words.get(address, 0)
+                _finish_step(lane, total, value, lane.pc + 4)
+
+    if flush_group:
+        flushes = (
+            [lane for lane in flush_group if not lane.fault]
+            if faulted
+            else flush_group
+        )
+        if flushes:
+            g_f = np.array([lane.idx for lane in flushes], _INT)
+            paddr = np.array([lane.dpaddr for lane in flushes], _INT)
+            hw.l1d.invalidate(g_f, paddr)
+            hw.l1i.invalidate(g_f, paddr)
+            hw.l2.invalidate(g_f, paddr)
+            hw.llc.invalidate(g_f, paddr)
+            for lane in flushes:
+                total = lane.fcyc + lane.dcyc + hw.flush_line_cycles
+                _finish_step(lane, total, None, lane.pc + 4)
+
+    for lane in groups[Compute]:
+        if lane.fault:
+            continue
+        total = lane.fcyc + max(0, lane.instr.cycles)
+        _finish_step(lane, total, None, lane.pc + 4)
+
+    for lane in groups[ReadTime]:
+        if lane.fault:
+            continue
+        # The observed value is the *post-advance* clock.
+        total = lane.fcyc + hw.readtime_cycles
+        lane.clock += total
+        tcb = lane.current
+        tcb.pc = lane.pc + 4
+        tcb.steps_executed += 1
+        tcb.pending_obs = Observation(lane.clock, total)
+        if lane.record_obs:
+            lane.observations[tcb.domain.name].append(
+                ObservationRecord(tcb.name, lane.clock, total)
+            )
+        lane.steps += 1
+
+    for lane in groups[Branch]:
+        if lane.fault:
+            continue
+        instruction = lane.instr
+        pc = lane.pc
+        taken = instruction.taken
+        target = (
+            instruction.target
+            if instruction.target is not None
+            else pc + 8
+        )
+        index = (pc ^ lane.bhist) % lane.btable
+        counter = lane.bcounters.get(index, 1)
+        predicted_taken = counter >= 2
+        predicted_target = lane.btb.get(pc)
+        mispredicted = predicted_taken != taken or (
+            taken and predicted_target != target
+        )
+        lane.bcounters[index] = (
+            min(3, counter + 1) if taken else max(0, counter - 1)
+        )
+        if taken:
+            if pc not in lane.btb and len(lane.btb) >= lane.bbtb_max:
+                victim = lane.btb_order.pop(0)
+                del lane.btb[victim]
+            if pc not in lane.btb:
+                lane.btb_order.append(pc)
+            lane.btb[pc] = target
+        lane.bhist = ((lane.bhist << 1) | (1 if taken else 0)) & lane.bhmask
+        total = lane.fcyc + (hw.mispredict_cycles if mispredicted else 0)
+        _finish_step(lane, total, None, target if taken else pc + 4)
+
+    syscalls = [lane for lane in groups[Syscall] if not lane.fault]
+    if syscalls:
+        _execute_syscalls(hw, kmat, syscalls)
+
+    for lane in groups[Halt]:
+        if lane.fault:
+            continue
+        lane.clock += lane.fcyc
+        tcb = lane.current
+        tcb.steps_executed += 1  # new_pc == pc; no observation
+        tcb.state = _DONE
+        lane.finish_needed = True
+        lane.current = None
+        lane.steps += 1
+
+
+def _execute_syscalls(hw: BatchHardware, kmat, lanes: List[_Lane]) -> None:
+    by_op: Dict[str, List[_Lane]] = {}
+    for lane in lanes:
+        op = lane.instr.op
+        if op in _UNSUPPORTED_OPS:
+            raise BatchUnsupported(
+                f"syscall {op!r} needs the scalar engine (blocked receivers "
+                "/ IRQ scheduling are outside the batch envelope)"
+            )
+        if op not in _OP_COSTS:
+            raise UnknownSyscall(f"unknown syscall {op!r}")
+        # User-side trap: base + fetch + trap entry, advanced before the
+        # kernel path (the scalar execute_user returns here).
+        user_latency = lane.fcyc + hw.trap_entry_cycles
+        lane.clock += user_latency
+        lane.fcyc = user_latency  # reused as the user part of the latency
+        tcb = lane.current
+        tcb.pc = lane.pc + 4
+        tcb.steps_executed += 1
+        by_op.setdefault(op, []).append(lane)
+    for op, group in by_op.items():
+        line_offset, n_lines, n_data = _OP_COSTS[op]
+        n = len(group)
+        # Post-user-advance clocks.
+        g = np.array([lane.idx for lane in group], _INT)
+        now = np.array([lane.clock for lane in group], _INT)
+        images = [
+            lane.images[lane.current.domain.name] for lane in group
+        ]
+        cycles = np.full(n, _HANDLER_BASE_CYCLES, _INT)
+        for line in range(n_lines):
+            column = np.array(
+                [image[line_offset + line] for image in images], _INT
+            )
+            cycles += hw.chain(g, column, None, True, now)
+        for word in range(min(n_data, kmat.shape[1])):
+            cycles += hw.chain(g, kmat[g, word], None, False, now)
+        cycles_list = cycles.tolist()
+        for i, lane in enumerate(group):
+            lane.clock += cycles_list[i]
+            core = lane.core
+            core.clock.now = lane.clock  # _dispatch reads core.clock.now
+            tcb = lane.current
+            outcome = lane.kernel.syscalls._dispatch(
+                core, tcb.domain, tcb, lane.instr
+            )
+            kernel_latency = cycles_list[i] + lane.fcyc
+            tcb.pending_obs = Observation(outcome.retval, kernel_latency)
+            if lane.record_obs:
+                lane.observations[tcb.domain.name].append(
+                    ObservationRecord(tcb.name, outcome.retval, kernel_latency)
+                )
+            if outcome.yielded:
+                lane.current = None
+            _refresh_switch_at(lane)  # "call" may have forced a switch
+            lane.steps += 1
+
+
+def _process_switches(
+    hw: BatchHardware,
+    kmat,
+    group: List[_Lane],
+    llc_fingerprint_colours,
+) -> None:
+    """Vectorized ``SwitchPath.execute`` over a pending group.
+
+    Mirrors the scalar phase structure exactly: from-side switch code,
+    flush, to-side switch code, kernel-data sweep (or scheduler touch),
+    pad.  The clock advances at the same four points; within each phase
+    every line access charges the interconnect at phase-start clock plus
+    its own intra-access latency, as the scalar code does.
+    """
+    n = len(group)
+    g = np.array([lane.idx for lane in group], _INT)
+    entered = [lane.clock for lane in group]
+    scheduled = [lane.pending_switch[2] for lane in group]
+    from_domains = [lane.pending_switch[0] for lane in group]
+    to_domains = [lane.pending_switch[1] for lane in group]
+    from_images = [
+        lane.images[domain.name] for lane, domain in zip(group, from_domains)
+    ]
+    to_images = [
+        lane.images[domain.name] for lane, domain in zip(group, to_domains)
+    ]
+    flush_mask = np.array([lane.flush_on for lane in group], bool)
+
+    # Phase 1: from-side switch code through the I-side hierarchy.
+    now = np.array([lane.clock for lane in group], _INT)
+    side_cycles = np.zeros(n, _INT)
+    for line in range(SWITCH_CODE_LINES):
+        column = np.array([image[line] for image in from_images], _INT)
+        side_cycles += hw.chain(g, column, None, True, now)
+    work = side_cycles.copy()
+    for i, lane in enumerate(group):
+        lane.clock += int(side_cycles[i])
+
+    # Phase 2: flush every core-local flushable element (flush lanes).
+    flush_cycles = np.zeros(n, _INT)
+    written_back = np.zeros(n, _INT)
+    post_flush = [{} for _ in range(n)]
+    reset_fps = [{} for _ in range(n)]
+    flushed_names: List[tuple] = [() for _ in range(n)]
+    if flush_mask.any():
+        f_pos = np.nonzero(flush_mask)[0]
+        f_lanes = g[f_pos]
+        for arrays, attribute in (
+            (hw.l1i, "l1i"),
+            (hw.l1d, "l1d"),
+            (hw.l2, "l2"),
+        ):
+            cycles, dirty = arrays.flush(f_lanes)
+            flush_cycles[f_pos] += cycles
+            written_back[f_pos] += dirty
+            for i in f_pos.tolist():
+                lane = group[i]
+                name = getattr(lane.core, attribute).name
+                post_flush[i][name] = (
+                    arrays.fingerprint_of(lane.idx)
+                    if arrays.broken
+                    else ((), ())
+                )
+                reset_fps[i][name] = ((), ())
+        hw.tlb.flush(f_lanes)
+        flush_cycles[f_pos] += hw.tlb.flush_cycles
+        for i in f_pos.tolist():
+            lane = group[i]
+            name = lane.core.tlb.name
+            post_flush[i][name] = ()
+            reset_fps[i][name] = ()
+            # Branch predictor: pure-Python per-lane state.
+            lane.bcounters.clear()
+            lane.btb.clear()
+            lane.btb_order.clear()
+            lane.bhist = 0
+            bname = lane.core.branch.name
+            post_flush[i][bname] = ((), (), 0)
+            reset_fps[i][bname] = ((), (), 0)
+            flush_cycles[i] += lane.bflush_cycles
+        hw.prefetcher.flush(f_lanes)
+        flush_cycles[f_pos] += hw.prefetcher.flush_cycles
+        for i in f_pos.tolist():
+            lane = group[i]
+            name = lane.core.prefetcher.name
+            post_flush[i][name] = (
+                ()
+                if hw.prefetcher.flushable
+                else hw.prefetcher.fingerprint_of(lane.idx)
+            )
+            reset_fps[i][name] = ()
+            flushed_names[i] = (
+                lane.core.l1i.name, lane.core.l1d.name, lane.core.l2.name,
+                lane.core.tlb.name, lane.core.branch.name,
+                lane.core.prefetcher.name,
+            )
+    for i, lane in enumerate(group):
+        lane.clock += int(flush_cycles[i])
+
+    # Phase 3: to-side switch code, then the kernel-data accesses.
+    now = np.array([lane.clock for lane in group], _INT)
+    side_cycles = np.zeros(n, _INT)
+    for line in range(SWITCH_CODE_LINES):
+        column = np.array(
+            [image[SWITCH_CODE_LINES + line] for image in to_images], _INT
+        )
+        side_cycles += hw.chain(g, column, None, True, now)
+    work += side_cycles
+    for i, lane in enumerate(group):
+        lane.clock += int(side_cycles[i])
+
+    now = np.array([lane.clock for lane in group], _INT)
+    data_cycles = np.zeros(n, _INT)
+    n_kdata = kmat.shape[1]
+    if flush_mask.any():
+        f_pos = np.nonzero(flush_mask)[0]
+        f_lanes = g[f_pos]
+        for word in range(n_kdata):
+            data_cycles[f_pos] += hw.chain(
+                f_lanes, kmat[f_lanes, word], None, False, now[f_pos]
+            )
+    touch_mask = ~flush_mask
+    if touch_mask.any():
+        t_pos = np.nonzero(touch_mask)[0]
+        t_lanes = g[t_pos]
+        for word in range(min(4, n_kdata)):
+            data_cycles[t_pos] += hw.chain(
+                t_lanes, kmat[t_lanes, word], None, False, now[t_pos]
+            )
+    work += data_cycles
+    for i, lane in enumerate(group):
+        lane.clock += int(data_cycles[i])
+
+    # Phase 4: pad to the deterministic release point; emit evidence.
+    flush_list = flush_cycles.tolist()
+    wb_list = written_back.tolist()
+    work_list = work.tolist()
+    for i, lane in enumerate(group):
+        finished_at = lane.clock
+        pad_target: Optional[int] = None
+        overrun = False
+        if lane.pad_on:
+            pad_target = scheduled[i] + from_domains[i].pad_cycles
+            overrun = finished_at > pad_target
+            if pad_target > lane.clock:
+                lane.clock = pad_target
+        released_at = lane.clock
+        if lane.record_fp:
+            colour_fps = hw.llc.colour_fingerprints_of(
+                lane.idx, hw.llc_sets_per_colour, hw.llc_n_colours,
+                colours=llc_fingerprint_colours,
+            )
+        else:
+            colour_fps = {}
+        lane.kernel.switch_path.records.append(
+            SwitchRecord(
+                core_id=lane.core_id,
+                from_domain=from_domains[i].name,
+                to_domain=to_domains[i].name,
+                scheduled_at=scheduled[i],
+                entered_at=entered[i],
+                flush_cycles=flush_list[i],
+                lines_written_back=wb_list[i],
+                work_cycles=work_list[i],
+                finished_at=finished_at,
+                pad_target=pad_target,
+                released_at=released_at,
+                overrun=overrun,
+                post_flush_fingerprints=post_flush[i],
+                reset_fingerprints=reset_fps[i],
+                flushed_elements=flushed_names[i],
+                llc_colour_fingerprints=colour_fps,
+                llc_owner_fingerprints={},
+            )
+        )
+        lane.kernel.scheduler.advance(lane.core_id, release_time=released_at)
+        lane.kernel.irq_policy.apply_masks(lane.core.irq, to_domains[i])
+        lane.current = None
+        lane.pending_switch = None
+        _refresh_switch_at(lane)
+        lane.steps += 1
+
+
+def run_lockstep(
+    kernels: Sequence,
+    max_cycles: Union[int, Sequence[int]],
+    max_steps: int = 50_000_000,
+    llc_fingerprint_colours=None,
+) -> None:
+    """Run every kernel to its horizon, batched; scalar-equivalent.
+
+    ``max_cycles`` is one horizon for all lanes or a per-lane sequence.
+    ``llc_fingerprint_colours``, when given, restricts the per-switch
+    LLC colour fingerprints to those colours (an opt-in evidence trim
+    for consumers that only audit the observer's colours); ``None``
+    keeps full scalar parity.
+    """
+    kernels = list(kernels)
+    check_batchable(kernels)
+    if isinstance(max_cycles, int):
+        horizons = [max_cycles] * len(kernels)
+    else:
+        horizons = [int(h) for h in max_cycles]
+        if len(horizons) != len(kernels):
+            raise ValueError("need one max_cycles horizon per kernel")
+    lanes = [
+        _Lane(kernel, idx, horizon, max_steps)
+        for idx, (kernel, horizon) in enumerate(zip(kernels, horizons))
+    ]
+    hw = BatchHardware(len(lanes), lanes[0].core, lanes[0].machine)
+    for lane in lanes:
+        hw.lift(lane.idx, lane.core, lane.machine)
+        hw.asid_key[lane.idx] = lane.cur_asid << _ASID_SHIFT
+    kmat = np.array([lane.kdata for lane in lanes], _INT)
+    groups: Dict = {
+        Access: [], FlushLine: [], Compute: [], ReadTime: [],
+        Branch: [], Syscall: [], Halt: [],
+    }
+    active = list(lanes)
+    pending: List[_Lane] = []
+    try:
+        while active or pending:
+            next_active = []
+            for bucket in groups.values():
+                bucket.clear()
+            for lane in active:
+                verdict = _triage(lane, groups, hw)
+                if verdict == _RETIRE:
+                    continue
+                if verdict == _STALL:
+                    pending.append(lane)
+                    continue
+                next_active.append(lane)
+            _execute_wave(hw, kmat, groups)
+            if pending and not next_active:
+                # Park switchers until the wave drains: under padded
+                # schedules every lane reaches the same switch point
+                # within a few waves, so waiting turns many tiny switch
+                # groups into one full-width vector group.  Lanes are
+                # independent, so any grouping is bit-identical.
+                _process_switches(hw, kmat, pending, llc_fingerprint_colours)
+                next_active.extend(pending)
+                pending.clear()
+            active = next_active
+    finally:
+        for lane in lanes:
+            lane.sync_back(hw)
+
+
+class BatchMachine:
+    """A batch of identically-configured machines behind the Machine API.
+
+    Each lane is a full scalar :class:`Machine` (with ``engine="batch"``
+    so kernels booted on it route ``run()`` through the batch engine);
+    per-lane views are therefore Machine-compatible by construction --
+    experiment code builds kernels on ``batch[i]`` exactly as it would
+    on a preset machine, then ``run_all`` steps every lane in lockstep.
+    """
+
+    def __init__(self, config: MachineConfig, n_lanes: int):
+        if n_lanes < 1:
+            raise ValueError("need at least one lane")
+        if config.engine != "batch":
+            config = dataclasses.replace(config, engine="batch")
+        self.config = config
+        self.lanes = [Machine(config) for _ in range(n_lanes)]
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+    def __getitem__(self, lane_index: int) -> Machine:
+        return self.lanes[lane_index]
+
+    def __iter__(self):
+        return iter(self.lanes)
+
+    def run_all(
+        self,
+        kernels: Sequence,
+        max_cycles: Union[int, Sequence[int]],
+        max_steps: int = 50_000_000,
+    ) -> None:
+        """Run one kernel per lane to its horizon, in lockstep waves."""
+        run_lockstep(kernels, max_cycles, max_steps=max_steps)

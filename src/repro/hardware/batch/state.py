@@ -1,0 +1,663 @@
+"""Array-of-lanes microarchitectural state for the batch engine.
+
+One :class:`BatchHardware` holds, for every lane (= one whole scalar
+:class:`~repro.hardware.machine.Machine`), the data-plane state the hot
+path reads and writes millions of times: cache tag/stamp/dirty matrices
+per level, the TLB, the stride-prefetcher table and the interconnect
+bus.  All of it is numpy arrays with a leading lane axis, so one wave of
+the engine updates every lane with a handful of vector operations.
+
+The control plane (scheduler, TCBs, programs, endpoints, branch
+predictor, memory words) stays on the scalar Python objects -- see
+``engine.py`` for why.
+
+Equivalence to the scalar model is structural, not approximate:
+
+* victim selection is min-stamp over valid slots (scalar keeps compact
+  lists and picks the min-stamp index; stamps are unique, so both pick
+  the same *line* even though the slot layout differs);
+* slot order inside a set is unobservable in the scalar model (all
+  fingerprints sort, probes scan, victims are stamp-unique minima), so
+  ``lift``/``sync_back`` round-trips through slot arrays are exact;
+* ticks, stamps and latency constants follow the scalar code paths
+  line for line -- every divergence is a bug the differential golden
+  suite is designed to catch.
+
+Hot-path encoding: instead of a separate validity matrix, empty slots
+carry sentinel keys (tag/region/asid ``-1``, unreachable because real
+addresses are non-negative) and *slot-ordered negative stamps*
+(``-_STAMP_INF + slot``).  Matching then needs no mask, and one
+``argmin`` over stamps picks the scalar victim exactly: any empty slot
+sorts below every real stamp (lowest slot first, the scalar append
+order), and a full set falls through to the true min-stamp line --
+stamps are unique, so there are no ties to break.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..cache import Cache, CacheLine
+from ..prefetcher import StridePrefetcher, StreamEntry
+from ..tlb import Tlb, TlbEntry
+
+_INT = np.int64
+# Larger than any reachable stamp; empty slots hold -_STAMP_INF + slot.
+_STAMP_INF = np.int64(1) << 62
+# TLB match keys fuse (asid, vpage) into one word; vpage stays far below
+# 2**40 for every supported page size and address-space span.
+_ASID_SHIFT = 40
+
+
+def _invalid_stamps(n_slots: int):
+    """The slot-ordered empty-slot stamp encoding (see module docstring)."""
+    return -_STAMP_INF + np.arange(n_slots, dtype=_INT)
+
+
+class CacheArrays:
+    """One cache level across all lanes: [lanes, sets, ways] matrices."""
+
+    __slots__ = (
+        "sets", "ways", "offset_bits", "index_mask", "tag_shift",
+        "hit_cycles", "wb_cycles", "flush_base", "is_lru", "broken",
+        "tags", "dirty", "stamps", "tick", "_broken_clear", "_empty_stamps",
+    )
+
+    def __init__(self, n_lanes: int, template: Cache):
+        geometry = template.geometry
+        self.sets = geometry.sets
+        self.ways = geometry.ways
+        self.offset_bits = geometry.offset_bits
+        self.index_mask = geometry.index_mask
+        self.tag_shift = geometry.tag_shift
+        self.hit_cycles = template.latency.hit_cycles
+        self.wb_cycles = template.latency.writeback_cycles_per_line
+        self.flush_base = template.latency.flush_base_cycles
+        self.is_lru = template._is_lru
+        self.broken = template.flush_is_broken
+        shape = (n_lanes, self.sets, self.ways)
+        self._empty_stamps = _invalid_stamps(self.ways)
+        self.tags = np.full(shape, -1, _INT)
+        self.dirty = np.zeros(shape, bool)
+        self.stamps = np.broadcast_to(self._empty_stamps, shape).copy()
+        self.tick = np.zeros(n_lanes, _INT)
+        # A broken flush clears only sets whose index % 4 != 0.
+        self._broken_clear = (np.arange(self.sets) % 4) != 0
+
+    # -- scalar object interop -----------------------------------------
+
+    def lift(self, lane_index: int, cache: Cache) -> None:
+        self.tick[lane_index] = cache._tick
+        tags = self.tags[lane_index]
+        dirty = self.dirty[lane_index]
+        stamps = self.stamps[lane_index]
+        for set_index, lines in enumerate(cache.audit_lines()):
+            for way, line in enumerate(lines):
+                tags[set_index, way] = line.tag
+                dirty[set_index, way] = line.dirty
+                stamps[set_index, way] = line.stamp
+
+    def sync_back(self, lane_index: int, cache: Cache) -> None:
+        cache._tick = int(self.tick[lane_index])
+        tags = self.tags[lane_index].tolist()
+        dirty = self.dirty[lane_index].tolist()
+        stamps = self.stamps[lane_index].tolist()
+        new_sets: List[List[CacheLine]] = []
+        for set_index in range(self.sets):
+            t_row = tags[set_index]
+            d_row = dirty[set_index]
+            s_row = stamps[set_index]
+            new_sets.append(
+                [
+                    CacheLine(t_row[way], d_row[way], s_row[way], None)
+                    for way in range(self.ways)
+                    if t_row[way] != -1
+                ]
+            )
+        cache._sets = new_sets
+
+    # -- hot path -------------------------------------------------------
+
+    def access(self, lanes, paddr, write):
+        """Vectorized ``Cache.access``: returns (miss_idx, writeback_idx).
+
+        ``lanes`` is an int64 array of lane indices, ``paddr`` the
+        matching addresses, ``write`` a bool array or None (all reads).
+        ``miss_idx`` holds the positions (in call order) that missed;
+        ``writeback_idx`` the positions whose fill evicted a dirty line,
+        or ``None`` when there were none (the common case, so callers
+        skip the charge without touching another array).
+        """
+        set_index = (paddr >> self.offset_bits) & self.index_mask
+        tag = paddr >> self.tag_shift
+        tick = self.tick[lanes] + 1
+        self.tick[lanes] = tick
+        match = self.tags[lanes, set_index] == tag[:, None]
+        hit = match.any(axis=1)
+        n = len(lanes)
+        miss_idx = np.nonzero(~hit)[0]
+        n_miss = miss_idx.size
+        writeback = None
+        if n_miss != n:
+            ways = match.argmax(axis=1)
+            if n_miss:
+                hit_idx = np.nonzero(hit)[0]
+                h_lanes = lanes[hit_idx]
+                h_sets = set_index[hit_idx]
+                h_ways = ways[hit_idx]
+                h_tick = tick[hit_idx]
+            else:
+                h_lanes = lanes
+                h_sets = set_index
+                h_ways = ways
+                h_tick = tick
+            if self.is_lru:
+                self.stamps[h_lanes, h_sets, h_ways] = h_tick
+            if write is not None:
+                w_idx = np.nonzero(write if n_miss == 0 else write & hit)[0]
+                if w_idx.size:
+                    self.dirty[
+                        lanes[w_idx], set_index[w_idx], ways[w_idx]
+                    ] = True
+        if n_miss:
+            if n_miss != n:
+                m_lanes = lanes[miss_idx]
+                m_sets = set_index[miss_idx]
+                m_tag = tag[miss_idx]
+                m_tick = tick[miss_idx]
+                m_write = write[miss_idx] if write is not None else False
+            else:
+                m_lanes = lanes
+                m_sets = set_index
+                m_tag = tag
+                m_tick = tick
+                m_write = write if write is not None else False
+            # Empty slots sort below every real stamp (slot order), so
+            # one argmin is both "first free slot" and "min-stamp
+            # victim"; invalid slots always have dirty == False, so an
+            # evicting fill is the only source of a dirty write-back.
+            victim = self.stamps[m_lanes, m_sets].argmin(axis=1)
+            wb = self.dirty[m_lanes, m_sets, victim]
+            if wb.any():
+                writeback = miss_idx[np.nonzero(wb)[0]]
+            self.tags[m_lanes, m_sets, victim] = m_tag
+            self.dirty[m_lanes, m_sets, victim] = m_write
+            self.stamps[m_lanes, m_sets, victim] = m_tick
+        return miss_idx, writeback
+
+    def invalidate(self, lanes, paddr) -> None:
+        """Vectorized ``invalidate_line`` (at most one match per set)."""
+        set_index = (paddr >> self.offset_bits) & self.index_mask
+        tag = paddr >> self.tag_shift
+        rows = self.tags[lanes, set_index]
+        match = rows == tag[:, None]
+        if match.any():
+            self.tags[lanes, set_index] = np.where(match, -1, rows)
+            self.dirty[lanes, set_index] &= ~match
+            self.stamps[lanes, set_index] = np.where(
+                match, self._empty_stamps, self.stamps[lanes, set_index]
+            )
+
+    def flush(self, lanes):
+        """Vectorized ``Cache.flush``: returns (cycles, lines_written_back)."""
+        # dirty implies resident (fills set it, invalidation clears it),
+        # so the write-back count is a straight sum.
+        written_back = self.dirty[lanes].reshape(len(lanes), -1).sum(axis=1)
+        cycles = self.flush_base + written_back * self.wb_cycles
+        if self.broken:
+            tags = self.tags[lanes]
+            tags[:, self._broken_clear, :] = -1
+            self.tags[lanes] = tags
+            stamps = self.stamps[lanes]
+            stamps[:, self._broken_clear, :] = self._empty_stamps
+            self.stamps[lanes] = stamps
+        else:
+            self.tags[lanes] = -1
+            self.stamps[lanes] = self._empty_stamps
+        self.dirty[lanes] = False
+        return cycles, written_back
+
+    # -- evidence -------------------------------------------------------
+
+    def fingerprint_of(self, lane_index: int):
+        """Scalar ``Cache.fingerprint()`` for one lane."""
+        tags = self.tags[lane_index].tolist()
+        dirty = self.dirty[lane_index].tolist()
+        occupancy = []
+        for set_index in range(self.sets):
+            t_row = tags[set_index]
+            lines = [
+                (t_row[way], dirty[set_index][way])
+                for way in range(self.ways)
+                if t_row[way] != -1
+            ]
+            if lines:
+                occupancy.append((set_index, tuple(sorted(lines))))
+        return (tuple(occupancy), ())
+
+    def colour_fingerprints_of(self, lane_index: int, sets_per_colour: int,
+                               n_colours: int, colours=None):
+        """Scalar ``SwitchPath.llc_fingerprints_by_colour`` for one lane.
+
+        ``colours``, when given, restricts the walk to those colours'
+        sets (the evidence-trim fast path); ``None`` walks every set.
+        """
+        tags = self.tags[lane_index].tolist()
+        by_colour = {}
+        if colours is not None and n_colours > 1:
+            sets_iter = [
+                set_index
+                for colour in sorted(colours)
+                for set_index in range(
+                    colour * sets_per_colour, (colour + 1) * sets_per_colour
+                )
+            ]
+        else:
+            sets_iter = range(self.sets)
+        for set_index in sets_iter:
+            colour = set_index // sets_per_colour if n_colours > 1 else 0
+            t_row = tags[set_index]
+            resident = tuple(
+                sorted(t for t in t_row if t != -1)
+            )
+            by_colour.setdefault(colour, []).append((set_index, resident))
+        return {colour: tuple(entries) for colour, entries in by_colour.items()}
+
+
+class TlbArrays:
+    """The fully-associative ASID-tagged TLB across lanes: [lanes, entries]."""
+
+    __slots__ = (
+        "entries", "flush_cycles", "key", "asid", "vpage", "frame",
+        "writable", "generation", "stamp", "tick", "_empty_stamps",
+    )
+
+    def __init__(self, n_lanes: int, template: Tlb):
+        self.entries = template.geometry.entries
+        self.flush_cycles = template.flush_latency_cycles
+        shape = (n_lanes, self.entries)
+        self._empty_stamps = _invalid_stamps(self.entries)
+        # key fuses (asid, vpage) for one-compare matching; -1 is empty.
+        self.key = np.full(shape, -1, _INT)
+        self.asid = np.full(shape, -1, _INT)
+        self.vpage = np.full(shape, -1, _INT)
+        self.frame = np.zeros(shape, _INT)
+        self.writable = np.zeros(shape, bool)
+        self.generation = np.zeros(shape, _INT)
+        self.stamp = np.broadcast_to(self._empty_stamps, shape).copy()
+        self.tick = np.zeros(n_lanes, _INT)
+
+    def lift(self, lane_index: int, tlb: Tlb) -> None:
+        self.tick[lane_index] = tlb._tick
+        for slot, entry in enumerate(tlb.audit_entries()):
+            self.key[lane_index, slot] = (
+                (entry.asid << _ASID_SHIFT) | entry.vpage
+            )
+            self.asid[lane_index, slot] = entry.asid
+            self.vpage[lane_index, slot] = entry.vpage
+            self.frame[lane_index, slot] = entry.frame_number
+            self.writable[lane_index, slot] = entry.writable
+            self.generation[lane_index, slot] = entry.generation
+            self.stamp[lane_index, slot] = entry.stamp
+
+    def sync_back(self, lane_index: int, tlb: Tlb) -> None:
+        tlb._tick = int(self.tick[lane_index])
+        entries = {}
+        keys = self.key[lane_index].tolist()
+        for slot in range(self.entries):
+            if keys[slot] == -1:
+                continue
+            asid = int(self.asid[lane_index, slot])
+            vpage = int(self.vpage[lane_index, slot])
+            entries[(asid, vpage)] = TlbEntry(
+                asid=asid,
+                vpage=vpage,
+                frame_number=int(self.frame[lane_index, slot]),
+                writable=bool(self.writable[lane_index, slot]),
+                stamp=int(self.stamp[lane_index, slot]),
+                generation=int(self.generation[lane_index, slot]),
+            )
+        tlb._entries = entries
+
+    def lookup(self, lanes, key):
+        """Vectorized ``Tlb.lookup`` on fused (asid, vpage) match keys.
+
+        Returns ``(None, frame)`` when every lane hit (the common case:
+        one fewer pass over the hit mask for callers), else
+        ``(hit, frame[hit])``.
+        """
+        tick = self.tick[lanes] + 1
+        self.tick[lanes] = tick
+        match = self.key[lanes] == key[:, None]
+        hit = match.any(axis=1)
+        if hit.all():
+            slot = match.argmax(axis=1)
+            self.stamp[lanes, slot] = tick
+            return None, self.frame[lanes, slot]
+        hit_idx = np.nonzero(hit)[0]
+        h_lanes = lanes[hit_idx]
+        h_slots = match.argmax(axis=1)[hit_idx]
+        self.stamp[h_lanes, h_slots] = tick[hit_idx]
+        return hit, self.frame[h_lanes, h_slots]
+
+    def fill(self, lanes, key, vpage, frame, writable, generation) -> None:
+        """Vectorized ``Tlb.fill`` (evict min-stamp when full)."""
+        tick = self.tick[lanes] + 1
+        self.tick[lanes] = tick
+        slot = self.stamp[lanes].argmin(axis=1)
+        self.key[lanes, slot] = key
+        self.asid[lanes, slot] = key >> _ASID_SHIFT
+        self.vpage[lanes, slot] = vpage
+        self.frame[lanes, slot] = frame
+        self.writable[lanes, slot] = writable
+        self.generation[lanes, slot] = generation
+        self.stamp[lanes, slot] = tick
+
+    def flush(self, lanes) -> None:
+        self.key[lanes] = -1
+        self.asid[lanes] = -1
+        self.stamp[lanes] = self._empty_stamps
+
+    def fingerprint_of(self, lane_index: int):
+        keys = self.key[lane_index].tolist()
+        rows = []
+        for slot in range(self.entries):
+            if keys[slot] != -1:
+                rows.append(
+                    (
+                        int(self.asid[lane_index, slot]),
+                        int(self.vpage[lane_index, slot]),
+                        int(self.frame[lane_index, slot]),
+                        bool(self.writable[lane_index, slot]),
+                    )
+                )
+        return tuple(sorted(rows))
+
+
+class PrefetcherArrays:
+    """Stride-prefetcher stream tables across lanes: [lanes, table_entries]."""
+
+    __slots__ = (
+        "table_entries", "region_bits", "degree", "flush_cycles", "flushable",
+        "region", "last", "stride", "confidence", "stamp", "tick",
+        "_empty_stamps",
+    )
+
+    def __init__(self, n_lanes: int, template: StridePrefetcher):
+        self.table_entries = template.table_entries
+        self.region_bits = template.region_bits
+        self.degree = template.degree
+        self.flush_cycles = template.flush_latency_cycles
+        self.flushable = template.flushable_in_hardware
+        shape = (n_lanes, self.table_entries)
+        self._empty_stamps = _invalid_stamps(self.table_entries)
+        self.region = np.full(shape, -1, _INT)
+        self.last = np.zeros(shape, _INT)
+        self.stride = np.zeros(shape, _INT)
+        self.confidence = np.zeros(shape, _INT)
+        self.stamp = np.broadcast_to(self._empty_stamps, shape).copy()
+        self.tick = np.zeros(n_lanes, _INT)
+
+    def lift(self, lane_index: int, prefetcher: StridePrefetcher) -> None:
+        self.tick[lane_index] = prefetcher._tick
+        for slot, (region, entry) in enumerate(prefetcher.audit_streams()):
+            self.region[lane_index, slot] = region
+            self.last[lane_index, slot] = entry.last_addr
+            self.stride[lane_index, slot] = entry.stride
+            self.confidence[lane_index, slot] = entry.confidence
+            self.stamp[lane_index, slot] = entry.stamp
+
+    def sync_back(self, lane_index: int, prefetcher: StridePrefetcher) -> None:
+        prefetcher._tick = int(self.tick[lane_index])
+        table = {}
+        regions = self.region[lane_index].tolist()
+        for slot in range(self.table_entries):
+            if regions[slot] == -1:
+                continue
+            table[regions[slot]] = StreamEntry(
+                last_addr=int(self.last[lane_index, slot]),
+                stride=int(self.stride[lane_index, slot]),
+                confidence=int(self.confidence[lane_index, slot]),
+                stamp=int(self.stamp[lane_index, slot]),
+            )
+        prefetcher._table = table
+
+    def observe(self, lanes, paddr):
+        """Vectorized ``StridePrefetcher.observe``.
+
+        Returns (emit, prefetch_base, stride): ``emit`` marks the lanes
+        that issue prefetches; their addresses are
+        ``prefetch_base + stride * step`` for step in 1..degree.
+        """
+        tick = self.tick[lanes] + 1
+        self.tick[lanes] = tick
+        region = paddr >> self.region_bits
+        match = self.region[lanes] == region[:, None]
+        found = match.any(axis=1)
+        emit = np.zeros(len(lanes), bool)
+        stride_out = np.zeros(len(lanes), _INT)
+        new_idx = np.nonzero(~found)[0]
+        if new_idx.size:
+            n_lanes = lanes[new_idx]
+            n_slot = self.stamp[n_lanes].argmin(axis=1)
+            self.region[n_lanes, n_slot] = region[new_idx]
+            self.last[n_lanes, n_slot] = paddr[new_idx]
+            self.stride[n_lanes, n_slot] = 0
+            self.confidence[n_lanes, n_slot] = 0
+            self.stamp[n_lanes, n_slot] = tick[new_idx]
+        if new_idx.size != len(lanes):
+            found_idx = np.nonzero(found)[0]
+            f_lanes = lanes[found_idx]
+            f_slots = match.argmax(axis=1)[found_idx]
+            f_paddr = paddr[found_idx]
+            stride = f_paddr - self.last[f_lanes, f_slots]
+            confident = (
+                (stride != 0) & (stride == self.stride[f_lanes, f_slots])
+            )
+            confidence = self.confidence[f_lanes, f_slots]
+            confidence = np.where(
+                confident,
+                np.minimum(3, confidence + 1),
+                np.maximum(0, confidence - 1),
+            )
+            self.confidence[f_lanes, f_slots] = confidence
+            self.stride[f_lanes, f_slots] = stride
+            self.last[f_lanes, f_slots] = f_paddr
+            self.stamp[f_lanes, f_slots] = tick[found_idx]
+            emit[found_idx] = (confidence >= 2) & (stride != 0)
+            stride_out[found_idx] = stride
+        return emit, paddr, stride_out
+
+    def flush(self, lanes) -> None:
+        if self.flushable:
+            self.region[lanes] = -1
+            self.stamp[lanes] = self._empty_stamps
+
+    def fingerprint_of(self, lane_index: int):
+        regions = self.region[lane_index].tolist()
+        rows = []
+        for slot in range(self.table_entries):
+            if regions[slot] != -1:
+                rows.append(
+                    (
+                        regions[slot],
+                        int(self.last[lane_index, slot]),
+                        int(self.stride[lane_index, slot]),
+                        int(self.confidence[lane_index, slot]),
+                    )
+                )
+        return tuple(sorted(rows))
+
+
+class InterconnectArrays:
+    """One serial bus per lane (lanes are whole independent machines)."""
+
+    __slots__ = ("transfer_cycles", "busy_until", "total", "per_core", "had_key")
+
+    def __init__(self, n_lanes: int, transfer_cycles: int):
+        self.transfer_cycles = transfer_cycles
+        self.busy_until = np.zeros(n_lanes, _INT)
+        self.total = np.zeros(n_lanes, _INT)
+        self.per_core = np.zeros(n_lanes, _INT)
+        self.had_key = [False] * n_lanes
+
+    def lift(self, lane_index: int, interconnect, core_id: int) -> None:
+        self.busy_until[lane_index] = interconnect._busy_until
+        self.total[lane_index] = interconnect.total_transfers
+        self.per_core[lane_index] = interconnect.per_core_transfers.get(core_id, 0)
+        self.had_key[lane_index] = core_id in interconnect.per_core_transfers
+
+    def sync_back(self, lane_index: int, interconnect, core_id: int) -> None:
+        interconnect._busy_until = int(self.busy_until[lane_index])
+        interconnect.total_transfers = int(self.total[lane_index])
+        count = int(self.per_core[lane_index])
+        if count or self.had_key[lane_index]:
+            interconnect.per_core_transfers[core_id] = count
+
+    def request(self, lanes, now):
+        """Vectorized ``Interconnect.request``: returns total_cycles."""
+        start = np.maximum(now, self.busy_until[lanes])
+        self.busy_until[lanes] = start + self.transfer_cycles
+        self.total[lanes] += 1
+        self.per_core[lanes] += 1
+        return (start - now) + self.transfer_cycles
+
+
+class BatchHardware:
+    """All array state of one batch, plus the vectorized access chain."""
+
+    def __init__(self, n_lanes: int, template_core, template_machine):
+        self.n_lanes = n_lanes
+        self.l1i = CacheArrays(n_lanes, template_core.l1i)
+        self.l1d = CacheArrays(n_lanes, template_core.l1d)
+        self.l2 = CacheArrays(n_lanes, template_core.l2)
+        self.llc = CacheArrays(n_lanes, template_core.llc)
+        self.tlb = TlbArrays(n_lanes, template_core.tlb)
+        self.prefetcher = PrefetcherArrays(n_lanes, template_core.prefetcher)
+        self.interconnect = InterconnectArrays(
+            n_lanes, template_machine.config.interconnect_transfer_cycles
+        )
+        latency = template_core.latency
+        self.base_cycles = latency.base_cycles
+        self.dram_cycles = latency.dram_cycles
+        self.tlb_hit_cycles = latency.tlb_hit_cycles
+        self.walk_base_cycles = latency.tlb_walk_base_cycles
+        self.mispredict_cycles = latency.mispredict_penalty_cycles
+        self.readtime_cycles = latency.readtime_cycles
+        self.flush_line_cycles = latency.flush_line_cycles
+        self.trap_entry_cycles = latency.trap_entry_cycles
+        page_size = template_machine.page_size
+        self.page_size = page_size
+        self.page_shift = page_size.bit_length() - 1
+        self.page_mask = page_size - 1
+        llc_geometry = template_machine.config.llc_geometry
+        self.llc_n_colours = llc_geometry.n_colours(page_size)
+        self.llc_sets_per_colour = llc_geometry.sets_per_colour(page_size)
+        # Per-lane pre-shifted ASID for fused TLB keys (engine-maintained).
+        self.asid_key = np.zeros(n_lanes, _INT)
+        # Wave-membership cache for the lane-index gather array.
+        self.prev_ordered = None
+        self.prev_g = None
+
+    # -- scalar interop -------------------------------------------------
+
+    def lift(self, lane_index: int, core, machine) -> None:
+        self.l1i.lift(lane_index, core.l1i)
+        self.l1d.lift(lane_index, core.l1d)
+        self.l2.lift(lane_index, core.l2)
+        self.llc.lift(lane_index, machine.llc)
+        self.tlb.lift(lane_index, core.tlb)
+        self.prefetcher.lift(lane_index, core.prefetcher)
+        self.interconnect.lift(lane_index, machine.interconnect, core.core_id)
+
+    def sync_back(self, lane_index: int, core, machine) -> None:
+        self.l1i.sync_back(lane_index, core.l1i)
+        self.l1d.sync_back(lane_index, core.l1d)
+        self.l2.sync_back(lane_index, core.l2)
+        self.llc.sync_back(lane_index, machine.llc)
+        self.tlb.sync_back(lane_index, core.tlb)
+        self.prefetcher.sync_back(lane_index, core.prefetcher)
+        self.interconnect.sync_back(lane_index, machine.interconnect, core.core_id)
+
+    # -- the hierarchy chain --------------------------------------------
+
+    def chain(self, lanes, paddr, write, fetch: bool, now):
+        """Vectorized ``Core.cached_access``: latency per lane.
+
+        Returns the per-lane latency array -- or a plain Python int when
+        every lane hit L1 (one shared constant; callers in the hot path
+        skip array arithmetic entirely on such waves).
+
+        ``now`` is each lane's clock at the start of the *architectural
+        step* containing this access: the scalar code computes
+        interconnect request times as ``clock.now + cycles`` where
+        ``cycles`` is the latency accumulated inside this one
+        ``cached_access`` call only (the clock itself only advances at
+        step end), and the chain reproduces that exactly.
+        """
+        l1 = self.l1i if fetch else self.l1d
+        miss_idx, writeback = l1.access(lanes, paddr, write)
+        if miss_idx.size == 0:
+            # All-hit, and an L1 hit never writes back.
+            return l1.hit_cycles
+        cycles = np.full(len(lanes), l1.hit_cycles, _INT)
+        if writeback is not None:
+            cycles[writeback] += l1.wb_cycles
+        if miss_idx.size == len(lanes):
+            m_lanes = lanes
+            m_paddr = paddr
+            m_cycles = cycles
+            m_now = now
+        else:
+            m_lanes = lanes[miss_idx]
+            m_paddr = paddr[miss_idx]
+            m_cycles = cycles[miss_idx]
+            m_now = now[miss_idx]
+        if not fetch:
+            # Demand miss trains the prefetcher; confident streams fill
+            # L2 off the critical path (no latency charged), in stride
+            # order, before the demand fill -- exactly the scalar order.
+            emit, base, stride = self.prefetcher.observe(m_lanes, m_paddr)
+            e_idx = np.nonzero(emit)[0]
+            if e_idx.size:
+                e_lanes = m_lanes[e_idx]
+                e_base = base[e_idx]
+                e_stride = stride[e_idx]
+                for step in range(1, self.prefetcher.degree + 1):
+                    self.l2.access(e_lanes, e_base + e_stride * step, None)
+        l2m_idx, l2_writeback = self.l2.access(m_lanes, m_paddr, None)
+        m_cycles += self.l2.hit_cycles
+        if l2_writeback is not None:
+            m_cycles[l2_writeback] += self.l2.wb_cycles
+        if l2m_idx.size:
+            if l2m_idx.size == len(m_lanes):
+                d_lanes = m_lanes
+                d_paddr = m_paddr
+                d_cycles = m_cycles
+                d_now = m_now
+            else:
+                d_lanes = m_lanes[l2m_idx]
+                d_paddr = m_paddr[l2m_idx]
+                d_cycles = m_cycles[l2m_idx]
+                d_now = m_now[l2m_idx]
+            llcm_idx, llc_writeback = self.llc.access(d_lanes, d_paddr, None)
+            d_cycles += self.llc.hit_cycles
+            if llc_writeback is not None:
+                d_cycles[llc_writeback] += self.interconnect.request(
+                    d_lanes[llc_writeback],
+                    d_now[llc_writeback] + d_cycles[llc_writeback],
+                )
+            if llcm_idx.size:
+                d_cycles[llcm_idx] += (
+                    self.interconnect.request(
+                        d_lanes[llcm_idx], d_now[llcm_idx] + d_cycles[llcm_idx]
+                    )
+                    + self.dram_cycles
+                )
+            if l2m_idx.size != len(m_lanes):
+                m_cycles[l2m_idx] = d_cycles
+        if miss_idx.size != len(lanes):
+            cycles[miss_idx] = m_cycles
+        return cycles

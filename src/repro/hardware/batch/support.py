@@ -1,0 +1,153 @@
+"""Batch-engine envelope checks.
+
+The batch engine (``repro.hardware.batch.engine``) replicates the scalar
+semantics of :class:`repro.hardware.cpu.Core` and the kernel run loop
+bit-for-bit -- but only inside a declared envelope.  Everything outside
+it raises :class:`BatchUnsupported` so callers can fall back to the
+scalar engine instead of silently diverging.
+
+Envelope (checked up front by :func:`check_batchable`):
+
+* exactly one scheduled core per kernel (the common case; the scalar
+  multi-core interleaving loop has cross-core clock coupling the
+  lockstep waves do not model);
+* identical machine *shape* across lanes: geometries, page size (a power
+  of two), TLB size, latency constants, replacement policy, history
+  bits, interconnect transfer time, and the contract-violation knobs.
+  Time-protection configs may differ per lane -- that is the point of
+  batching secret-swap and ablation sweeps;
+* LRU or FIFO replacement (no PLRU tree bits in the array model);
+* no SMT sharing, no MBA throttling, no CAT-style way quotas;
+* no pending device interrupts, and (enforced at run time) no ``recv``
+  or ``io_submit`` syscalls -- blocked receivers and IRQ delivery stay
+  scalar-only for now.
+
+Instrumentation is the one *deliberate* envelope cut that is not an
+error: batch runs skip per-touch instrumentation entirely.  Channel
+observables, switch records and state fingerprints are bit-identical to
+scalar runs; per-touch proof evidence is not produced.  Runs that need
+it (``prove``, footprint capture) must use the scalar engine --
+``capture_footprints`` therefore *is* rejected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...kernel.objects import ThreadState
+from ..cache import ReplacementPolicy
+
+
+class BatchUnsupported(RuntimeError):
+    """The workload steps outside the batch engine's envelope."""
+
+
+def _machine_signature(kernel) -> Tuple:
+    """The shape every lane must share for lockstep array stepping."""
+    config = kernel.machine.config
+    latency = config.latency
+    geoms = tuple(
+        (g.sets, g.ways, g.line_size)
+        for g in (
+            config.l1i_geometry,
+            config.l1d_geometry,
+            config.l2_geometry,
+            config.llc_geometry,
+        )
+    )
+    cache_lat = tuple(
+        (p.hit_cycles, p.flush_base_cycles, p.writeback_cycles_per_line)
+        for p in (
+            config.l1i_latency,
+            config.l1d_latency,
+            config.l2_latency,
+            config.llc_latency,
+        )
+    )
+    return (
+        config.page_size,
+        geoms,
+        cache_lat,
+        config.tlb_entries,
+        (
+            latency.base_cycles,
+            latency.dram_cycles,
+            latency.tlb_hit_cycles,
+            latency.tlb_walk_base_cycles,
+            latency.mispredict_penalty_cycles,
+            latency.readtime_cycles,
+            latency.flush_line_cycles,
+            latency.trap_entry_cycles,
+        ),
+        config.replacement,
+        config.branch_history_bits,
+        config.interconnect_transfer_cycles,
+        config.prefetcher_flushable,
+        config.broken_l1d_flush,
+        len(kernel.kernel_data_paddrs),
+    )
+
+
+def check_batchable(kernels: List) -> None:
+    """Raise :class:`BatchUnsupported` unless every kernel fits the envelope."""
+    if not kernels:
+        raise BatchUnsupported("empty batch")
+    signatures = []
+    for position, kernel in enumerate(kernels):
+        machine = kernel.machine
+        config = machine.config
+        where = f"lane {position}"
+        scheduled = kernel.scheduler.scheduled_cores()
+        if len(scheduled) != 1:
+            raise BatchUnsupported(
+                f"{where}: batch engine needs exactly one scheduled core, "
+                f"got {len(scheduled)}"
+            )
+        if config.smt:
+            raise BatchUnsupported(f"{where}: SMT state sharing is scalar-only")
+        if config.mba is not None:
+            raise BatchUnsupported(f"{where}: MBA throttling is scalar-only")
+        if config.replacement is ReplacementPolicy.PLRU:
+            raise BatchUnsupported(
+                f"{where}: PLRU tree bits are not array-modelled (LRU/FIFO only)"
+            )
+        if machine.llc.way_quota or kernel.tp.way_partitioning:
+            raise BatchUnsupported(
+                f"{where}: CAT-style way quotas are scalar-only"
+            )
+        if kernel.capture_footprints:
+            raise BatchUnsupported(
+                f"{where}: footprint capture needs per-touch instrumentation; "
+                "batch runs skip it"
+            )
+        if config.page_size & (config.page_size - 1):
+            raise BatchUnsupported(
+                f"{where}: page size {config.page_size} is not a power of two"
+            )
+        core = machine.cores[scheduled[0]]
+        if core.irq._pending:
+            raise BatchUnsupported(
+                f"{where}: pending device interrupts are scalar-only"
+            )
+        for domain in kernel.domains.values():
+            if domain.kernel_image is None:
+                raise BatchUnsupported(
+                    f"{where}: domain {domain.name!r} has no kernel image"
+                )
+            for tcb in domain.threads:
+                # The batch loop never runs the blocked-receiver wakeup
+                # scan (recv is rejected at dispatch), so a thread that
+                # is already BLOCKED at entry would sleep forever.
+                if tcb.state is ThreadState.BLOCKED:
+                    raise BatchUnsupported(
+                        f"{where}: thread {tcb.name!r} is blocked on an "
+                        "endpoint; blocked receivers are scalar-only"
+                    )
+        signatures.append(_machine_signature(kernel))
+    first = signatures[0]
+    for position, signature in enumerate(signatures[1:], start=1):
+        if signature != first:
+            raise BatchUnsupported(
+                f"lane {position} machine shape differs from lane 0; "
+                "all lanes of a batch must share one machine configuration"
+            )

@@ -1,0 +1,154 @@
+"""Differential harness: the batch engine vs. the scalar golden traces.
+
+The batch engine's correctness contract is *bit-identical observable
+behaviour* to the scalar engine.  This suite re-runs every golden case
+(``tests/golden/*.json`` -- captured from the scalar engine) with the
+batch engine selected via ``engine_override("batch")``, so each
+experiment's kernels route ``run()`` through ``run_lockstep`` as a batch
+of one.  Every observation value, every latency, every final cycle
+count, every step and switch count must match the committed scalar
+evidence exactly.
+
+A second group runs *heterogeneous batches*: all golden kernels of one
+machine preset stepped as one multi-lane batch, checked against the same
+scalar goldens -- exercising cross-lane independence (lanes with
+different TP configs, attacks and horizons in one wave loop).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hardware.machine import engine_override
+
+from tests.integration.test_golden_traces import (
+    CASES,
+    case_id,
+    capture_case,
+    golden_path,
+)
+
+
+def _load_golden(machine: str, attack: str, tp: str) -> dict:
+    path = golden_path(machine, attack, tp)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden file {path.name}; generate with REGEN_GOLDEN=1"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize(
+    "machine,attack,tp", CASES, ids=[case_id(*case) for case in CASES]
+)
+def test_batch_of_one_matches_scalar_golden(machine, attack, tp):
+    golden = _load_golden(machine, attack, tp)
+    with engine_override("batch"):
+        fresh = capture_case(machine, attack, tp)
+    assert len(fresh["runs"]) == len(golden["runs"])
+    for index, (golden_run, fresh_run) in enumerate(
+        zip(golden["runs"], fresh["runs"])
+    ):
+        for key in ("final_cycles", "total_steps", "n_switches", "trace"):
+            assert fresh_run[key] == golden_run[key], (
+                f"{case_id(machine, attack, tp)}: run {index} diverges "
+                f"from the scalar engine in {key!r}"
+            )
+    assert fresh["samples"] == golden["samples"]
+    assert fresh == golden
+
+
+def _primeprobe_system(tp, secret, rounds):
+    """One e2-style prime+probe system on tiny, built but not run."""
+    from repro.attacks.primeprobe import l1_spy, l1_trojan
+    from repro.hardware import presets
+    from repro.kernel.kernel import Kernel
+
+    machine = presets.tiny_machine()
+    kernel = Kernel(machine, tp)
+    geometry = machine.config.l1d_geometry
+    lo_slice = max(12000, geometry.sets * geometry.ways * 80)
+    hi = kernel.create_domain("Hi", n_colours=2, slice_cycles=4000)
+    lo = kernel.create_domain("Lo", n_colours=2, slice_cycles=lo_slice)
+    kernel.create_thread(
+        hi, l1_trojan, params={"symbol": secret}, data_pages=geometry.ways
+    )
+    kernel.create_thread(
+        lo, l1_spy,
+        params={
+            "l1_sets": geometry.sets,
+            "prime_pages": geometry.ways,
+            "results": [],
+            "rounds": rounds,
+            "sleep_cycles": lo_slice + 2000,
+        },
+        data_pages=geometry.ways,
+    )
+    kernel.set_schedule(0, [(hi, None), (lo, None)])
+    return kernel, rounds * 60 * lo_slice
+
+
+def _synth_system(tp, symbol):
+    """One synth-runner system (ReplayableProgram lanes), built not run."""
+    from repro.hardware import presets
+    from repro.synth.runner import (
+        PRIME_PROBE_GENOME,
+        _build_system,
+        _HI_SLICE,
+        _LO_SLICE,
+    )
+    from repro.synth.victims import VICTIMS
+
+    kernel, _results = _build_system(
+        tp, presets.tiny_machine, PRIME_PROBE_GENOME.to_dict(),
+        VICTIMS["set_hammer"], symbol, 4, _HI_SLICE, _LO_SLICE,
+        None, None, None,
+    )
+    return kernel, 7 * (_HI_SLICE + _LO_SLICE) * 2
+
+
+def test_heterogeneous_batch_matches_scalar():
+    """Mixed TP configs, attacks and horizons in one lockstep batch.
+
+    Five tiny lanes -- prime+probe under tp full and none with different
+    secrets and round counts, plus two synth-genome lanes -- stepped as
+    one batch must each reproduce their own scalar run exactly: every
+    domain's observation trace, final cycle counts, step and switch
+    counts.
+    """
+    from repro.hardware.batch import run_lockstep
+    from repro.kernel.timeprotect import TimeProtectionConfig
+
+    def build_all():
+        systems = [
+            _primeprobe_system(TimeProtectionConfig.full(), 2, 2),
+            _primeprobe_system(TimeProtectionConfig.none(), 2, 2),
+            _primeprobe_system(TimeProtectionConfig.full(), 5, 3),
+            _synth_system(TimeProtectionConfig.none(), 1),
+            _synth_system(TimeProtectionConfig.full(), 3),
+        ]
+        return [k for k, _h in systems], [h for _k, h in systems]
+
+    scalar_kernels, horizons = build_all()
+    for kernel, horizon in zip(scalar_kernels, horizons):
+        kernel.run(max_cycles=horizon)
+
+    batch_kernels, _ = build_all()
+    run_lockstep(batch_kernels, horizons)
+
+    for index, (scalar, batch) in enumerate(zip(scalar_kernels, batch_kernels)):
+        for domain in ("Hi", "Lo"):
+            assert batch.observation_trace(domain) == (
+                scalar.observation_trace(domain)
+            ), f"lane {index}: {domain} trace diverges"
+        assert batch.total_steps == scalar.total_steps, f"lane {index}"
+        assert [core.clock.now for core in batch.machine.cores] == (
+            [core.clock.now for core in scalar.machine.cores]
+        ), f"lane {index}: final cycles diverge"
+        assert len(batch.switch_records) == len(scalar.switch_records)
+        for srec, brec in zip(scalar.switch_records, batch.switch_records):
+            assert (brec.released_at, brec.from_domain, brec.to_domain) == (
+                (srec.released_at, srec.from_domain, srec.to_domain)
+            ), f"lane {index}: switch records diverge"

@@ -38,7 +38,15 @@ _MACHINES = {
     "tiny": presets.tiny_machine,
     # Single-core desktop: these are all time-shared (same-core) channels.
     "desktop": lambda: presets.desktop_machine(n_cores=1),
+    # Targeted presets (see _EXTRA_CASES): the model checker's machine
+    # and the contract-violating prefetcher-without-flush part.
+    "micro": presets.micro_machine,
+    "tiny_unflushable": presets.tiny_unflushable_machine,
 }
+
+# Machines swept against the full attack product; the targeted presets
+# above only appear in _EXTRA_CASES to keep the suite's runtime sane.
+_PRODUCT_MACHINES = ("desktop", "tiny")
 
 _TPS = {
     "none": TimeProtectionConfig.none,
@@ -67,18 +75,56 @@ def _run_switch_latency(tp, machine_factory, on_kernel):
     )
 
 
+def _run_prefetch_residue(tp, machine_factory, on_kernel):
+    # The one attack in the suite that reads *prefetcher* state: the
+    # evolved residue genome against the stream_strider victim (see
+    # repro.synth.runner).  Golden-pinning it keeps the StridePrefetcher
+    # model and its batch-engine counterpart honest cycle-for-cycle.
+    from repro.synth.runner import (
+        PREFETCH_RESIDUE_GENOME,
+        PREFETCH_RESIDUE_VICTIM_PARAMS,
+        experiment,
+    )
+
+    return experiment(
+        tp, machine_factory, PREFETCH_RESIDUE_GENOME,
+        victim="stream_strider", symbols=(1, 3), rounds_per_run=4,
+        data_pages=6, hi_data_pages=8,
+        victim_params=PREFETCH_RESIDUE_VICTIM_PARAMS,
+        on_kernel=on_kernel,
+    )
+
+
 _ATTACKS = {
     "primeprobe_l1": _run_primeprobe_l1,
     "flushreload": _run_flushreload,
     "switch_latency": _run_switch_latency,
+    "prefetch_residue": _run_prefetch_residue,
 }
+
+# Targeted cases outside the full product: micro exercises the 4-set
+# direct-mapped/bimodal geometry (tp none only -- its 128 B pages leave
+# the colouring allocator no headroom for the attacks' working sets
+# under tp full), tiny_unflushable the un-clearable prefetcher (where
+# the residue channel survives tp full -- the paper's Sect. 4.1
+# violation made golden evidence).
+_EXTRA_CASES = [
+    ("micro", "flushreload", "none"),
+    ("micro", "primeprobe_l1", "none"),
+    ("micro", "switch_latency", "none"),
+    ("tiny_unflushable", "switch_latency", "none"),
+    ("tiny_unflushable", "switch_latency", "full"),
+    ("tiny_unflushable", "prefetch_residue", "none"),
+    ("tiny_unflushable", "prefetch_residue", "full"),
+]
 
 CASES = [
     (machine, attack, tp)
-    for machine in sorted(_MACHINES)
-    for attack in sorted(_ATTACKS)
+    for machine in _PRODUCT_MACHINES
+    for attack in sorted(attack for attack in _ATTACKS
+                         if attack != "prefetch_residue")
     for tp in sorted(_TPS)
-]
+] + _EXTRA_CASES
 
 
 def case_id(machine: str, attack: str, tp: str) -> str:

@@ -1,0 +1,82 @@
+"""SC-2/SC-3 scope must cover the batch engine.
+
+The lockstep engine is bit-identical to the scalar one only while it
+stays strictly deterministic: an unseeded RNG or an unordered-set walk
+in ``src/repro/hardware/batch`` would break the differential contract
+on some machine without failing loudly.  The tree rides in the
+``hardware`` scope segment, so the shipped code must lint clean and
+seeded violations must be caught.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.statcheck import run_lint
+from repro.statcheck.runner import _SCOPE_SEGMENTS
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestBatchScope:
+    def test_hardware_segment_covers_batch_in_sc2_and_sc3(self):
+        assert "hardware" in _SCOPE_SEGMENTS["SC-2"]
+        assert "hardware" in _SCOPE_SEGMENTS["SC-3"]
+
+    def test_shipped_batch_tree_lints_clean(self):
+        report = run_lint(
+            paths=[str(REPO / "src" / "repro" / "hardware" / "batch")],
+            baseline_path=str(REPO / "statcheck.baseline.json"),
+        )
+        assert report.clean, "\n".join(f.render() for f in report.findings)
+        assert report.files_analyzed >= 4
+
+    @staticmethod
+    def _copy_batch_tree(tmp_path: Path) -> Path:
+        # Copied under a ``hardware`` package (module names walk up
+        # through __init__.py files) so the scope segment matching sees
+        # the tree exactly as it does in ``src/repro``.
+        batch = tmp_path / "hardware" / "batch"
+        shutil.copytree(REPO / "src" / "repro" / "hardware" / "batch", batch)
+        (tmp_path / "hardware" / "__init__.py").write_text("")
+        return batch
+
+    def test_seeded_global_rng_in_engine_is_caught(self, tmp_path):
+        batch = self._copy_batch_tree(tmp_path)
+        engine = batch / "engine.py"
+        source = engine.read_text()
+        needle = "def run_lockstep(\n"
+        assert needle in source, "engine.py changed; update this fixture"
+        engine.write_text(source.replace(
+            needle,
+            "def _unseeded_lane_jitter():\n"
+            "    import random\n"
+            "    return random.random()\n\n\n" + needle,
+            1,
+        ))
+        report = run_lint(paths=[str(tmp_path / "hardware")])
+        assert not report.clean
+        findings = [f for f in report.findings if f.checker == "SC-2"]
+        assert any(
+            f.rule == "global-rng" and f.path.endswith("engine.py")
+            for f in findings
+        ), [f.render() for f in findings]
+
+    def test_seeded_set_iteration_in_state_is_caught(self, tmp_path):
+        batch = self._copy_batch_tree(tmp_path)
+        state = batch / "state.py"
+        source = state.read_text()
+        needle = "class BatchHardware:\n"
+        assert needle in source, "state.py changed; update this fixture"
+        state.write_text(source.replace(
+            needle,
+            "def _unstable_lane_listing(lanes):\n"
+            "    return [lane for lane in set(lanes)]\n\n\n" + needle,
+            1,
+        ))
+        report = run_lint(paths=[str(tmp_path / "hardware")])
+        assert not report.clean
+        findings = [f for f in report.findings if f.checker == "SC-2"]
+        assert any(
+            f.rule == "set-order" and f.path.endswith("state.py")
+            for f in findings
+        ), [f.render() for f in findings]
