@@ -257,6 +257,94 @@ def _run_batch_secret_swap():
     }
 
 
+#: Lazily-built store fixture shared across ``campaign_store`` repeats.
+_STORE_FIXTURE: Dict[str, Tuple[str, str, int]] = {}
+
+
+def _campaign_store_fixture(n_records: int = 100_000) -> Tuple[str, str, int]:
+    """A 100k-record JSONL store plus its sqlite migration, built once."""
+    if "paths" not in _STORE_FIXTURE:
+        import json
+        import os
+        import tempfile
+
+        from ..campaign.store_sqlite import migrate_store
+
+        directory = tempfile.mkdtemp(prefix="bench_campaign_store_")
+        jsonl_path = os.path.join(directory, "store.jsonl")
+        with open(jsonl_path, "w", encoding="utf-8") as handle:
+            for i in range(n_records):
+                # Shaped like a genuine run_trial record: the result
+                # payload (samples + stats) dominates the line, exactly
+                # as it does in a real sweep's store.
+                record = {
+                    "key": f"machine=tiny/tp=full/attack=e5/seed={i}",
+                    "machine": "tiny",
+                    "tp": "full",
+                    "attack": "e5",
+                    "seed": i,
+                    "params": {},
+                    "instrumentation": "full",
+                    "engine": "scalar",
+                    "derived_seed": (i * 2654435761) % (1 << 32),
+                    "attempts": 1,
+                    "worker": {"pid": 4242, "host": "bench"},
+                    "status": "ok" if i % 8 else "failed",
+                    "result": {
+                        "name": "e5",
+                        "tp_label": "full",
+                        "samples": [[s % 4, (s * i) % 4] for s in range(24)],
+                        "stats": {
+                            "n_samples": 24,
+                            "capacity_bits": 0.0,
+                            "mutual_information_bits": 0.0,
+                            "accuracy": 0.25,
+                            "noise_floor_bits": 0.021,
+                        },
+                        "metadata": {"symbols": [1, 8], "rounds_per_run": 6},
+                    },
+                    "error": None,
+                    "wall_time_s": 0.5,
+                }
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        sqlite_path = os.path.join(directory, "store.sqlite")
+        migrate_store(jsonl_path, sqlite_path)
+        _STORE_FIXTURE["paths"] = (jsonl_path, sqlite_path, n_records)
+    return _STORE_FIXTURE["paths"]
+
+
+def _run_campaign_store():
+    # The resume-check hot path at sweep scale: ``completed_keys()`` on
+    # a fresh store handle (so neither backend serves from a warm
+    # instance cache).  The JSONL side pays a whole-file parse; the
+    # sqlite side is an index lookup.  The ISSUE acceptance bar -- the
+    # indexed lookup at least 10x faster at 100k records -- rides along
+    # as the ``speedup_sqlite_vs_jsonl`` side metric.
+    import time
+
+    from ..campaign.store import ResultStore
+    from ..campaign.store_sqlite import SqliteResultStore
+
+    jsonl_path, sqlite_path, n_records = _campaign_store_fixture()
+    started = time.perf_counter()
+    jsonl_keys = ResultStore(jsonl_path).completed_keys()
+    jsonl_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    sqlite_keys = SqliteResultStore(sqlite_path).completed_keys()
+    sqlite_elapsed = time.perf_counter() - started
+    if jsonl_keys != sqlite_keys:
+        raise RuntimeError(
+            "sqlite and JSONL resume sets diverged on the bench fixture"
+        )
+    return n_records, {
+        "records": float(n_records),
+        "completed_keys": float(len(jsonl_keys)),
+        "jsonl_scan_ms": round(jsonl_elapsed * 1e3, 3),
+        "sqlite_lookup_ms": round(sqlite_elapsed * 1e3, 3),
+        "speedup_sqlite_vs_jsonl": round(jsonl_elapsed / sqlite_elapsed, 1),
+    }
+
+
 def _run_e5_switch_latency() -> int:
     counter = _StepCounter()
     for tp in _both_tp_configs():
@@ -318,6 +406,12 @@ SCENARIOS: Dict[str, Scenario] = {
             "mc_tiny",
             "exhaustive product-state model check on tiny, tp full",
             _run_mc_tiny,
+        ),
+        Scenario(
+            "campaign_store",
+            "resume-check lookup on a 100k-record store: JSONL whole-file "
+            "scan vs sqlite indexed completed_keys (asserts identical sets)",
+            _run_campaign_store,
         ),
         Scenario(
             "statcheck_lint",

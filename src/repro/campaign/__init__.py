@@ -9,6 +9,9 @@ Y on machine Z?" — is a sweep over (machine preset × TP config × attack
   ``multiprocessing`` pool with per-trial timeout and bounded retry;
 * :class:`ResultStore` appends one JSONL record per finished trial and
   lets a re-run *resume*, skipping trials already answered on disk;
+  :func:`open_store` picks the sqlite backend for ``.sqlite/.db`` paths;
+* :mod:`repro.campaign.service` scales the same grid past one host: a
+  lease coordinator over HTTP plus a worker fleet (see that package);
 * ``repro.analysis.summary`` pivots a store into the paper-style
   (machine × TP config) channel-capacity matrix.
 """
@@ -34,6 +37,7 @@ from .store import (
     STATUS_OK,
     ResultStore,
     deterministic_view,
+    open_store,
 )
 from .worker import TrialTimeout, run_trial
 
@@ -53,6 +57,7 @@ __all__ = [
     "TrialTimeout",
     "default_workers",
     "deterministic_view",
+    "open_store",
     "register_attack",
     "run_campaign",
     "run_trial",

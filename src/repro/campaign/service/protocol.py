@@ -1,0 +1,99 @@
+"""Wire protocol shared by the coordinator and its workers.
+
+Everything on the wire is JSON with sorted keys over a minimal HTTP/1.1
+exchange (one request per connection, ``Connection: close``).  The
+payload shapes are plain dicts so both sides stay stdlib-only; this
+module centralises the endpoint names, the response constructors, and
+the backoff policy so the two halves cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Endpoint paths (the whole surface area of the service).
+LEASE_PATH = "/lease"
+HEARTBEAT_PATH = "/heartbeat"
+RESULTS_PATH = "/results"
+STATUS_PATH = "/status"
+
+#: Suggested poll delay returned when the grid is fully leased out but
+#: not yet drained — workers should come back, not exit.
+DEFAULT_RETRY_AFTER_S = 0.5
+
+
+def encode(payload: Mapping[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+
+
+def decode(body: bytes) -> Dict[str, Any]:
+    if not body:
+        return {}
+    loaded = json.loads(body.decode("utf-8"))
+    if not isinstance(loaded, dict):
+        raise ValueError(f"expected a JSON object, got {type(loaded).__name__}")
+    return loaded
+
+
+def lease_response(
+    grant: Optional[Mapping[str, Any]],
+    done: bool,
+    retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+) -> Dict[str, Any]:
+    """``POST /lease`` body: a grant, or "come back later", or "done"."""
+    return {
+        "lease": dict(grant) if grant is not None else None,
+        "done": done,
+        "retry_after_s": retry_after_s,
+    }
+
+
+def results_request(
+    worker: str, shard: int, generation: int, records: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    return {
+        "worker": worker,
+        "shard": shard,
+        "generation": generation,
+        "records": records,
+    }
+
+
+@dataclass
+class BackoffPolicy:
+    """Bounded exponential backoff with *seeded* jitter.
+
+    Deterministic by construction: the jitter stream comes from an
+    explicitly seeded ``random.Random`` instance, never the process
+    global, so two workers given the same seed back off identically and
+    SC-2 stays clean with zero waivers.
+    """
+
+    base_s: float = 0.1
+    cap_s: float = 5.0
+    multiplier: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._failures = 0
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    def reset(self) -> None:
+        self._failures = 0
+
+    def next_delay(self) -> float:
+        """Delay before the next attempt; call once per failure."""
+        bounded = min(
+            self.cap_s, self.base_s * (self.multiplier ** self._failures)
+        )
+        self._failures += 1
+        # Full jitter: uniform in (0, bounded] avoids thundering herds
+        # while keeping the expected delay half the exponential curve.
+        return bounded * (0.5 + 0.5 * self._rng.random())

@@ -1,0 +1,366 @@
+"""The HTTP worker loop: pull leases, run trials, stream results back.
+
+Trials run through the *existing* :func:`repro.campaign.worker.run_trial`
+path — same registries, same per-trial seeding, same batch-engine
+fallback — so a record produced by a fleet worker is bit-identical
+(modulo volatile wall-clock/worker metadata) to the one the single-host
+pool would have written for the same trial spec.
+
+Two robustness mechanisms live here rather than in ``run_trial``:
+
+* **Portable deadlines.**  The pool path enforces per-trial budgets
+  with ``SIGALRM``, which is unix-only and cannot interrupt C-level
+  loops.  The service path instead runs the trial in a child process
+  and enforces the deadline from outside (`run_trial_with_deadline`):
+  poll-join, then ``terminate()`` — works on any platform and kills
+  genuinely wedged trials.  Between polls the worker heartbeats its
+  lease so a slow trial is not mistaken for a dead worker.
+* **Bounded backoff.**  Coordinator connection failures back off
+  exponentially with *seeded* jitter (:class:`~.protocol.BackoffPolicy`)
+  and give up after ``max_failures`` consecutive misses with
+  :class:`CoordinatorUnreachable`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from urllib import request as urlrequest
+
+from ..spec import TrialSpec
+from ..store import STATUS_FAILED, STATUS_OK
+from ..worker import run_trial
+from . import protocol
+
+
+class CoordinatorUnreachable(Exception):
+    """Raised after ``max_failures`` consecutive failed coordinator calls."""
+
+
+def _mp_context():
+    # fork shares test-registered attacks with trial children, matching
+    # the pool executor; spawn still works (run_trial is module-level).
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context()
+
+
+def _deadline_child(payload: Dict[str, Any], conn) -> None:
+    try:
+        record = run_trial(payload)
+    except BaseException as error:  # pragma: no cover - run_trial catches
+        record = _failure_record(payload, f"worker child crashed: {error!r}", 0.0)
+    try:
+        conn.send(record)
+    finally:
+        conn.close()
+
+
+def _failure_record(
+    payload: Mapping[str, Any], error: str, wall_time_s: float
+) -> Dict[str, Any]:
+    """A ``run_trial``-shaped failure record built coordinator-side."""
+    trial = TrialSpec.from_payload(payload)
+    return {
+        "key": trial.key(),
+        "machine": trial.machine,
+        "tp": trial.tp,
+        "attack": trial.attack,
+        "seed": trial.seed,
+        "params": dict(trial.params),
+        "instrumentation": trial.instrumentation,
+        "engine": trial.engine,
+        "derived_seed": trial.derived_seed(),
+        "attempts": int(payload.get("attempt", 1)),
+        "worker": {"pid": os.getpid(), "host": socket.gethostname()},
+        "status": STATUS_FAILED,
+        "result": None,
+        "error": error,
+        "wall_time_s": round(wall_time_s, 6),
+    }
+
+
+def run_trial_with_deadline(
+    payload: Mapping[str, Any],
+    heartbeat: Optional[Callable[[], None]] = None,
+    clock: Callable[[], float] = time.monotonic,
+    poll_s: float = 0.25,
+    mp_context=None,
+) -> Dict[str, Any]:
+    """Run one trial with a portable wall-clock deadline.
+
+    ``payload["timeout_s"] <= 0`` runs inline (no child process); a
+    positive budget forks a child and enforces the deadline from the
+    parent, calling ``heartbeat`` between join polls.
+    """
+    timeout_s = float(payload.get("timeout_s") or 0)
+    if timeout_s <= 0:
+        return run_trial(dict(payload))
+    ctx = mp_context or _mp_context()
+    # The child gets timeout_s=0: the deadline lives out here, so the
+    # unix-only SIGALRM path in run_trial is never armed.
+    child_payload = dict(payload)
+    child_payload["timeout_s"] = 0
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_deadline_child, args=(child_payload, child_conn)
+    )
+    started = clock()
+    process.start()
+    child_conn.close()
+    deadline = started + timeout_s
+    while process.is_alive():
+        remaining = deadline - clock()
+        if remaining <= 0:
+            break
+        process.join(timeout=min(poll_s, remaining))
+        if heartbeat is not None:
+            heartbeat()
+    record: Optional[Dict[str, Any]] = None
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - terminate() sufficed
+            process.kill()
+            process.join()
+        record = _failure_record(
+            payload,
+            f"trial exceeded its {timeout_s}s deadline "
+            f"(terminated by the portable watchdog)",
+            clock() - started,
+        )
+    else:
+        if parent_conn.poll(1.0):
+            try:
+                record = parent_conn.recv()
+            except (EOFError, OSError):
+                record = None
+        if record is None:
+            record = _failure_record(
+                payload,
+                f"worker child exited without a record "
+                f"(exit code {process.exitcode})",
+                clock() - started,
+            )
+    parent_conn.close()
+    return record
+
+
+@dataclass
+class WorkerStats:
+    """What one worker loop did, for logs and exit decisions."""
+
+    leases: int = 0
+    trials: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    retries: int = 0
+    flushes: int = 0
+    reconnects: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"{self.leases} lease(s), {self.trials} trial(s) "
+            f"({self.succeeded} ok, {self.failed} failed, "
+            f"{self.retries} retried), {self.flushes} result flush(es), "
+            f"{self.reconnects} reconnect(s)"
+        )
+
+
+class ServiceWorker:
+    """One lease-pulling worker loop against a coordinator URL."""
+
+    def __init__(
+        self,
+        coordinator_url: str,
+        worker_id: str = "",
+        engine: Optional[str] = None,
+        max_retries: Optional[int] = None,
+        flush_every: int = 1,
+        max_failures: int = 8,
+        http_timeout_s: float = 30.0,
+        backoff: Optional[protocol.BackoffPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        self.url = coordinator_url.rstrip("/")
+        self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
+        self.engine = engine
+        self.max_retries = max_retries
+        self.flush_every = max(1, int(flush_every))
+        self.max_failures = max(1, int(max_failures))
+        self.http_timeout_s = float(http_timeout_s)
+        self.backoff = backoff or protocol.BackoffPolicy()
+        self.clock = clock
+        self.sleep = sleep
+        self.log = log
+        self.stats = WorkerStats()
+        self._ctx = _mp_context()
+
+    # -- HTTP --------------------------------------------------------------
+
+    def _request(self, path: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        request = urlrequest.Request(
+            self.url + path,
+            data=protocol.encode(payload),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urlrequest.urlopen(request, timeout=self.http_timeout_s) as resp:
+            return protocol.decode(resp.read())
+
+    def _call(self, path: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Request with bounded-backoff retry on connection failures."""
+        while True:
+            try:
+                response = self._request(path, payload)
+            except (OSError, ValueError) as error:
+                delay = self.backoff.next_delay()
+                if self.backoff.failures >= self.max_failures:
+                    raise CoordinatorUnreachable(
+                        f"{self.url}{path} failed {self.backoff.failures} "
+                        f"time(s); last error: {error!r}"
+                    ) from error
+                self.stats.reconnects += 1
+                if self.log:
+                    self.log(
+                        f"[{self.worker_id}] coordinator unreachable "
+                        f"({error!r}); retrying in {delay:.2f}s"
+                    )
+                self.sleep(delay)
+                continue
+            self.backoff.reset()
+            return response
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self) -> WorkerStats:
+        while True:
+            response = self._call(
+                protocol.LEASE_PATH, {"worker": self.worker_id}
+            )
+            grant = response.get("lease")
+            if grant:
+                self.stats.leases += 1
+                if self._run_lease(grant):
+                    # The final flush already answered "done": exit now
+                    # rather than racing a coordinator shutdown.
+                    if self.log:
+                        self.log(
+                            f"[{self.worker_id}] done: "
+                            f"{self.stats.summary()}"
+                        )
+                    return self.stats
+            elif response.get("done"):
+                if self.log:
+                    self.log(f"[{self.worker_id}] done: {self.stats.summary()}")
+                return self.stats
+            else:
+                self.sleep(
+                    float(response.get("retry_after_s")
+                          or protocol.DEFAULT_RETRY_AFTER_S)
+                )
+
+    def _run_lease(self, grant: Mapping[str, Any]) -> bool:
+        """Run a lease's trials; True if the grid drained on our flush."""
+        shard = int(grant["shard"])
+        generation = int(grant["generation"])
+        ttl_s = float(grant.get("ttl_s", 60.0))
+        retries = (
+            self.max_retries
+            if self.max_retries is not None
+            else int(grant.get("max_retries", 1))
+        )
+        heartbeat = self._heartbeat_fn(shard, generation, ttl_s)
+        buffer: List[Dict[str, Any]] = []
+        done = False
+        for payload in grant.get("trials", []):
+            buffer.append(self._run_one(payload, retries, heartbeat))
+            if len(buffer) >= self.flush_every:
+                done = self._flush(shard, generation, buffer) or done
+        return self._flush(shard, generation, buffer) or done
+
+    def _run_one(
+        self,
+        payload: Mapping[str, Any],
+        retries: int,
+        heartbeat: Callable[[], None],
+    ) -> Dict[str, Any]:
+        executed = dict(payload)
+        relabel = (
+            self.engine is not None
+            and executed.get("engine", "scalar") != self.engine
+        )
+        if relabel:
+            # Execute on the preferred engine but keep the lease's trial
+            # identity: batch-of-N is contract-tested bit-identical to
+            # scalar, so only volatile metadata records the difference.
+            executed["engine"] = self.engine
+        attempt = 1
+        while True:
+            executed["attempt"] = attempt
+            record = run_trial_with_deadline(
+                executed,
+                heartbeat=heartbeat,
+                clock=self.clock,
+                mp_context=self._ctx,
+            )
+            if record.get("status") == STATUS_OK or attempt > retries:
+                break
+            attempt += 1
+            self.stats.retries += 1
+        if relabel:
+            record["key"] = payload["key"]
+            record["engine"] = payload.get("engine", "scalar")
+            meta = dict(record.get("worker") or {})
+            meta["executed_engine"] = self.engine
+            record["worker"] = meta
+        self.stats.trials += 1
+        if record.get("status") == STATUS_OK:
+            self.stats.succeeded += 1
+        else:
+            self.stats.failed += 1
+        return record
+
+    def _heartbeat_fn(
+        self, shard: int, generation: int, ttl_s: float
+    ) -> Callable[[], None]:
+        """Best-effort lease extension, rate-limited to ttl/3."""
+        interval = max(0.05, ttl_s / 3.0)
+        last = [self.clock()]
+
+        def heartbeat() -> None:
+            now = self.clock()
+            if now - last[0] < interval:
+                return
+            last[0] = now
+            try:
+                self._request(protocol.HEARTBEAT_PATH, {
+                    "worker": self.worker_id,
+                    "shard": shard,
+                    "generation": generation,
+                })
+            except (OSError, ValueError):
+                pass  # the results flush will retry with backoff
+
+        return heartbeat
+
+    def _flush(
+        self, shard: int, generation: int, buffer: List[Dict[str, Any]]
+    ) -> bool:
+        if not buffer:
+            return False
+        response = self._call(protocol.RESULTS_PATH, protocol.results_request(
+            self.worker_id, shard, generation, buffer
+        ))
+        self.stats.flushes += 1
+        buffer.clear()
+        return bool(response.get("done"))

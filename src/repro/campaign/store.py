@@ -4,13 +4,25 @@ One line per completed trial.  Appending is crash-safe in the useful
 sense: a record is either fully on disk or absent, and a torn final line
 (worker killed mid-write) is detected and ignored on load, so a resumed
 campaign simply re-runs that trial.
+
+Reads are cached per file signature (mtime_ns, size): ``records()``,
+``completed_keys()`` and ``latest_by_key()`` parse the file once and
+then serve from memory until the file changes under us, so a resume
+loop that consults ``completed_keys()`` repeatedly no longer re-scans
+the whole file every call.  ``append()`` keeps the cache coherent
+in-place (the common single-writer case never re-reads its own writes);
+an *external* writer changes the signature and forces a rescan.
+
+For sweeps past ~10^5 records, prefer the sqlite backend
+(:mod:`repro.campaign.store_sqlite` via :func:`open_store`): indexed
+``completed_keys()`` instead of any file scan at all.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Iterator, List, Optional, Set
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
@@ -20,6 +32,9 @@ STATUS_FAILED = "failed"
 # pure function of the trial spec.
 VOLATILE_FIELDS = ("wall_time_s", "worker", "attempts", "campaign")
 
+#: Path suffixes that select the sqlite backend in :func:`open_store`.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
 
 def deterministic_view(record: Dict[str, Any]) -> Dict[str, Any]:
     """The record minus run-dependent bookkeeping — equal across re-runs."""
@@ -28,6 +43,19 @@ def deterministic_view(record: Dict[str, Any]) -> Dict[str, Any]:
         for key, value in record.items()
         if key not in VOLATILE_FIELDS
     }
+
+
+def open_store(path: Union[str, "ResultStore"]) -> "ResultStore":
+    """Path -> the right backend: sqlite for ``.sqlite/.sqlite3/.db``,
+    JSONL otherwise.  Store objects pass through unchanged."""
+    if isinstance(path, ResultStore):
+        return path
+    path = str(path)
+    if path.endswith(SQLITE_SUFFIXES):
+        from .store_sqlite import SqliteResultStore
+
+        return SqliteResultStore(path)
+    return ResultStore(path)
 
 
 class ResultStore:
@@ -40,6 +68,9 @@ class ResultStore:
 
     def __init__(self, path: str):
         self.path = str(path)
+        self._cache_signature: Optional[Tuple[int, int]] = None
+        self._cache_records: Optional[List[Dict[str, Any]]] = None
+        self._cache_ok_keys: Set[str] = set()
 
     # -- writing ----------------------------------------------------------
 
@@ -49,14 +80,43 @@ class ResultStore:
         line = json.dumps(record, sort_keys=True, default=str)
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
+        # Only extend the cache in place when the file is exactly what
+        # we last parsed; an interleaved external writer invalidates it.
+        cache_valid = (
+            self._cache_records is not None
+            and self._signature() == self._cache_signature
+        )
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if cache_valid:
+            # Round-trip through JSON so the cached view is exactly what
+            # a fresh scan would parse (tuples -> lists, etc.).
+            parsed = json.loads(line)
+            self._cache_records.append(parsed)
+            if parsed.get("status") == STATUS_OK:
+                self._cache_ok_keys.add(parsed["key"])
+            self._cache_signature = self._signature()
+        else:
+            self._invalidate()
 
     # -- reading ----------------------------------------------------------
 
-    def iter_records(self) -> Iterator[Dict[str, Any]]:
+    def _signature(self) -> Optional[Tuple[int, int]]:
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _invalidate(self) -> None:
+        self._cache_signature = None
+        self._cache_records = None
+        self._cache_ok_keys = set()
+
+    def _scan_file(self) -> Iterator[Dict[str, Any]]:
+        """Raw whole-file scan (the uncached path)."""
         if not os.path.exists(self.path):
             return
         with open(self.path, "r", encoding="utf-8") as handle:
@@ -73,29 +133,43 @@ class ResultStore:
                 if isinstance(record, dict) and "key" in record:
                     yield record
 
+    def _load(self) -> List[Dict[str, Any]]:
+        signature = self._signature()
+        if (self._cache_records is None
+                or signature != self._cache_signature):
+            records = list(self._scan_file())
+            self._cache_records = records
+            self._cache_ok_keys = {
+                record["key"]
+                for record in records
+                if record.get("status") == STATUS_OK
+            }
+            self._cache_signature = signature
+        return self._cache_records
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        yield from self._load()
+
     def records(self) -> List[Dict[str, Any]]:
-        return list(self.iter_records())
+        return list(self._load())
 
     def completed_keys(self) -> Set[str]:
         """Keys with a successful record (these are skipped on resume)."""
-        return {
-            record["key"]
-            for record in self.iter_records()
-            if record.get("status") == STATUS_OK
-        }
+        self._load()
+        return set(self._cache_ok_keys)
 
     def latest_by_key(
         self, status: Optional[str] = STATUS_OK
     ) -> Dict[str, Dict[str, Any]]:
         """Last record per key, optionally filtered by status."""
         latest: Dict[str, Dict[str, Any]] = {}
-        for record in self.iter_records():
+        for record in self._load():
             if status is None or record.get("status") == status:
                 latest[record["key"]] = record
         return latest
 
     def __len__(self) -> int:
-        return sum(1 for _record in self.iter_records())
+        return len(self._load())
 
     def __repr__(self) -> str:
         return f"ResultStore({self.path!r})"

@@ -1,0 +1,232 @@
+"""Sqlite-backed ResultStore: indexed resume at sweep scale.
+
+Same public API as the JSONL :class:`~repro.campaign.store.ResultStore`
+(it *is* one, by subclass), but backed by a WAL-mode sqlite database
+with a ``(trial_key, generation)`` primary key:
+
+* ``completed_keys()`` is an index lookup, not a whole-file parse —
+  the resume check on a 10^5-record store drops from seconds to
+  milliseconds (the ``campaign_store`` bench pins the ratio).
+* ``append()`` assigns each record the next generation for its key, so
+  re-runs of a trial coexist exactly as duplicate JSONL lines do, and
+  ``latest_by_key()`` keeps its "last record wins" semantics.
+* ``iter_records()`` streams a cursor in insertion (rowid) order, so
+  capacity pivots aggregate without materialising the store.
+* WAL mode + ``synchronous=NORMAL`` keeps appends crash-safe (a torn
+  transaction rolls back; the trial is simply re-run on resume) while
+  amortising fsyncs across the write-ahead log.
+
+Connections are per-thread (the coordinator serves from its own server
+thread) and the coordinator is the single writer, so no cross-process
+locking is ever needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from typing import Any, Dict, Iterable, Iterator, Optional, Set
+
+from .store import STATUS_OK, ResultStore
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    trial_key  TEXT    NOT NULL,
+    generation INTEGER NOT NULL,
+    status     TEXT    NOT NULL,
+    record     TEXT    NOT NULL,
+    PRIMARY KEY (trial_key, generation)
+);
+CREATE INDEX IF NOT EXISTS idx_records_status_key
+    ON records (status, trial_key);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', '1');
+"""
+
+
+class SqliteResultStore(ResultStore):
+    """Drop-in ``ResultStore`` over sqlite (see module docstring)."""
+
+    def __init__(self, path: str):
+        # Deliberately skip the JSONL cache machinery: sqlite reads are
+        # already indexed, and ``self.path`` is all the base state used.
+        self.path = str(path)
+        self._local = threading.local()
+
+    # -- connection management --------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            connection = sqlite3.connect(self.path)
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.executescript(_SCHEMA)
+            connection.commit()
+            self._local.connection = connection
+        return connection
+
+    def close(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    # -- writing ----------------------------------------------------------
+
+    def _insert(self, connection: sqlite3.Connection, record: Dict[str, Any]):
+        if "key" not in record:
+            raise ValueError("result records must carry a 'key' field")
+        connection.execute(
+            "INSERT INTO records (trial_key, generation, status, record) "
+            "VALUES (?, COALESCE((SELECT MAX(generation) + 1 FROM records "
+            "WHERE trial_key = ?), 0), ?, ?)",
+            (
+                record["key"],
+                record["key"],
+                str(record.get("status", "")),
+                json.dumps(record, sort_keys=True, default=str),
+            ),
+        )
+
+    def append(self, record: Dict[str, Any]) -> None:
+        connection = self._connection()
+        with connection:
+            self._insert(connection, record)
+
+    def append_many(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Append a batch in one transaction; returns how many landed."""
+        connection = self._connection()
+        count = 0
+        with connection:
+            for record in records:
+                self._insert(connection, record)
+                count += 1
+        return count
+
+    # -- reading ----------------------------------------------------------
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        cursor = self._connection().execute(
+            "SELECT record FROM records ORDER BY rowid"
+        )
+        for (line,) in cursor:
+            yield json.loads(line)
+
+    def records(self):
+        return list(self.iter_records())
+
+    def completed_keys(self) -> Set[str]:
+        cursor = self._connection().execute(
+            "SELECT DISTINCT trial_key FROM records WHERE status = ?",
+            (STATUS_OK,),
+        )
+        return {key for (key,) in cursor}
+
+    def latest_by_key(
+        self, status: Optional[str] = STATUS_OK
+    ) -> Dict[str, Dict[str, Any]]:
+        if status is None:
+            query = (
+                "SELECT record FROM records WHERE rowid IN "
+                "(SELECT MAX(rowid) FROM records GROUP BY trial_key)"
+            )
+            cursor = self._connection().execute(query)
+        else:
+            query = (
+                "SELECT record FROM records WHERE rowid IN "
+                "(SELECT MAX(rowid) FROM records WHERE status = ? "
+                "GROUP BY trial_key)"
+            )
+            cursor = self._connection().execute(query, (status,))
+        latest: Dict[str, Dict[str, Any]] = {}
+        for (line,) in cursor:
+            record = json.loads(line)
+            latest[record["key"]] = record
+        return latest
+
+    def generations(self, key: str) -> int:
+        """How many records this key has accumulated (0 if none)."""
+        (count,) = self._connection().execute(
+            "SELECT COUNT(*) FROM records WHERE trial_key = ?", (key,)
+        ).fetchone()
+        return int(count)
+
+    def __len__(self) -> int:
+        (count,) = self._connection().execute(
+            "SELECT COUNT(*) FROM records"
+        ).fetchone()
+        return int(count)
+
+    def __repr__(self) -> str:
+        return f"SqliteResultStore({self.path!r})"
+
+
+def migrate_store(src_path: str, dst_path: str, batch_size: int = 2000) -> int:
+    """Copy every record from one store to another, preserving order.
+
+    Backends are chosen by suffix (see :func:`~repro.campaign.store
+    .open_store`), so this converts JSONL -> sqlite, sqlite -> JSONL, or
+    same-to-same.  Insertion order carries over (rowid order == line
+    order), so generations, ``latest_by_key()`` and ``iter_records()``
+    agree with the source store record for record, and resume semantics
+    are preserved because ``completed_keys()`` is derived from the same
+    records.  A JSONL -> sqlite -> JSONL round trip is bit-identical
+    (both ends serialize with sorted keys).  Returns the record count.
+    """
+    from .store import open_store
+
+    source = open_store(src_path)
+    destination = open_store(dst_path)
+    if source.path == destination.path:
+        raise ValueError("migrate needs distinct source and destination")
+    if isinstance(destination, SqliteResultStore):
+        batch = []
+        migrated = 0
+        for record in source.iter_records():
+            batch.append(record)
+            if len(batch) >= batch_size:
+                migrated += destination.append_many(batch)
+                batch = []
+        if batch:
+            migrated += destination.append_many(batch)
+        return migrated
+    migrated = 0
+    for record in source.iter_records():
+        destination.append(record)
+        migrated += 1
+    return migrated
+
+
+def migrate_jsonl_to_sqlite(
+    src_path: str, dst_path: str, batch_size: int = 2000
+) -> int:
+    """JSONL -> sqlite conversion (the common direction of `migrate_store`)."""
+    return migrate_store(src_path, dst_path, batch_size=batch_size)
+
+
+def store_info(path: str) -> Dict[str, Any]:
+    """Summary dict for ``repro-tp store info``."""
+    from .store import open_store
+
+    store = open_store(path)
+    records = 0
+    failed = 0
+    for record in store.iter_records():
+        records += 1
+        if record.get("status") != STATUS_OK:
+            failed += 1
+    return {
+        "path": store.path,
+        "backend": type(store).__name__,
+        "records": records,
+        "failed_records": failed,
+        "completed_keys": len(store.completed_keys()),
+    }

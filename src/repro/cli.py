@@ -1,6 +1,6 @@
 """CLI: prove, model-check, survey channels, inspect, campaigns, lint, bench.
 
-Eight subcommands::
+Ten subcommands::
 
     repro-tp prove    [--machine M] [--tp T] [--secrets 1,7,23]
                       [--format text|json]
@@ -12,6 +12,11 @@ Eight subcommands::
                       [--seeds 0,1] [--workers N] [--store results.jsonl]
                       [--instrumentation full|counting] [--genomes FILE]
                       [--engine scalar|batch]
+                      [--serve | --distributed] [--host H] [--port P]
+                      [--shard-size N] [--lease-ttl S] [--status-interval S]
+    repro-tp work     --coordinator URL [--jobs N] [--engine scalar|batch]
+                      [--name ID] [--flush-every N] [--max-failures N]
+    repro-tp store    {info PATH | migrate SRC DST}
     repro-tp synth    [--machine M] [--tp T] [--victim V] [--generations N]
                       [--population N] [--seed N] [--jobs N] [--save FILE]
                       [--threshold BITS] [--engine scalar|batch]
@@ -33,7 +38,15 @@ model (Sect. 5.1) of a machine.  ``campaign`` fans a whole (machine ×
 tp × attack × seed) grid out over a worker pool, appends one JSONL
 record per trial, resumes past completed trials on re-run, and prints
 the (machine × tp) channel-capacity matrix; ``--genomes`` registers
-evolved genomes from a saved file as extra attacks for the grid.
+evolved genomes from a saved file as extra attacks for the grid.  A
+``--store`` path ending in ``.sqlite``/``.sqlite3``/``.db`` selects the
+indexed sqlite backend instead of JSONL.  ``campaign --serve`` runs the
+grid as a lease *coordinator* (workers attach with ``repro-tp work``)
+with a live ``/status`` capacity view; ``campaign --distributed`` also
+spawns the local worker fleet itself.  ``work`` is the worker half:
+pull leases from a coordinator URL, run trials, stream results back.
+``store`` inspects (``info``) or converts (``migrate``, either
+direction, order-preserving) result stores.
 ``synth`` runs the evolutionary attack search against the chosen
 machine/TP configuration: exit 0 when no channel above the threshold
 was found (time protection held against the search), 1 when the search
@@ -227,12 +240,93 @@ def cmd_inspect(args) -> int:
     return 0 if model.conforms_to_aisa() else 1
 
 
+def _campaign_serve(args, spec, trials, store) -> int:
+    """``campaign --serve``: coordinator only; workers attach remotely."""
+    from .campaign import ProgressReporter
+    from .campaign.service import CoordinatorServer, LeaseTable, plan_payloads
+    from .campaign.service import protocol
+    from .campaign.service.coordinator import Coordinator
+    from .campaign.service.status import format_status
+
+    completed = store.completed_keys() if not args.fresh else set()
+    todo = [trial for trial in trials if trial.key() not in completed]
+    table = LeaseTable(
+        plan_payloads(todo, timeout_s=args.timeout),
+        shard_size=args.shard_size,
+        lease_ttl_s=args.lease_ttl,
+        max_retries=args.retries,
+    )
+    reporter = ProgressReporter(
+        total=len(todo), label=f"{spec.name}/serve", enabled=not args.quiet
+    )
+    coordinator = Coordinator(
+        table, store, campaign=spec.name, reporter=reporter
+    )
+    server = CoordinatorServer(coordinator, host=args.host, port=args.port)
+    if not todo:
+        print(f"campaign {spec.name!r}: all {len(trials)} trial(s) already "
+              f"complete in {store.path}")
+        return 0
+    url = server.start()
+    print(f"coordinator: {len(todo)} open trial(s) "
+          f"({len(trials) - len(todo)} resumed) at {url}")
+    print(f"attach workers with: repro-tp work --coordinator {url}")
+    reporter.start(0, len(trials) - len(todo))
+    interval = args.status_interval if args.status_interval > 0 else 30.0
+    try:
+        while not server.wait_done(timeout=interval):
+            if args.status_interval > 0:
+                print(format_status(coordinator.status()), flush=True)
+    except KeyboardInterrupt:
+        print("\ninterrupted; completed trials are resumable from the store",
+              file=sys.stderr)
+        return 1
+    finally:
+        import time as _time
+
+        # Grace period: workers poll /lease every retry_after_s; keep
+        # answering "done" long enough for them to exit cleanly instead
+        # of burning their backoff budget against a closed socket.
+        _time.sleep(3 * protocol.DEFAULT_RETRY_AFTER_S)
+        server.stop()
+        reporter.finish()
+    print(format_status(coordinator.status()))
+    return 0 if table.stats.failed == 0 else 1
+
+
+def _campaign_distributed(args, spec, store) -> int:
+    """``campaign --distributed``: coordinator + local worker fleet."""
+    from .analysis.summary import capacity_matrix
+    from .campaign import default_workers
+    from .campaign.service import run_distributed_campaign
+
+    report = run_distributed_campaign(
+        spec,
+        store,
+        n_workers=args.workers if args.workers > 0 else default_workers(),
+        shard_size=args.shard_size,
+        lease_ttl_s=args.lease_ttl,
+        timeout_s=args.timeout,
+        max_retries=args.retries,
+        resume=not args.fresh,
+        quiet=args.quiet,
+        host=args.host,
+        port=args.port,
+    )
+    print(f"campaign {spec.name!r} (distributed): {report.summary()}")
+    print(f"store: {store.path} ({len(store)} record(s))")
+    if not args.no_summary:
+        print()
+        print(capacity_matrix(store.records()))
+    return 0 if report.all_ok else 1
+
+
 def cmd_campaign(args) -> int:
     from .analysis.summary import capacity_matrix
     from .campaign import (
         CampaignSpec,
-        ResultStore,
         default_workers,
+        open_store,
         run_campaign,
     )
     from .campaign.registry import ATTACKS
@@ -277,7 +371,11 @@ def cmd_campaign(args) -> int:
         print("campaign spec expands to zero trials", file=sys.stderr)
         return 2
 
-    store = ResultStore(args.store)
+    store = open_store(args.store)
+    if args.serve:
+        return _campaign_serve(args, spec, trials, store)
+    if args.distributed:
+        return _campaign_distributed(args, spec, store)
     report = run_campaign(
         spec,
         store,
@@ -293,6 +391,83 @@ def cmd_campaign(args) -> int:
         print()
         print(capacity_matrix(store.records()))
     return 0 if report.all_ok else 1
+
+
+def cmd_work(args) -> int:
+    from .campaign.service import (
+        BackoffPolicy,
+        CoordinatorUnreachable,
+        ServiceWorker,
+    )
+    from .campaign.service.fleet import _fleet_worker_main
+    from .campaign.service.worker import _mp_context
+
+    engine = args.engine or None
+    if args.jobs > 1:
+        ctx = _mp_context()
+        processes = [
+            ctx.Process(
+                target=_fleet_worker_main,
+                args=(
+                    args.coordinator,
+                    f"{args.name or 'w'}{index}",
+                    args.seed + index,
+                    engine,
+                    args.flush_every,
+                ),
+            )
+            for index in range(args.jobs)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+        codes = [process.exitcode for process in processes]
+        print(f"{len(processes)} worker(s) exited: {codes}")
+        return 0 if all(code == 0 for code in codes) else 1
+    worker = ServiceWorker(
+        args.coordinator,
+        worker_id=args.name,
+        engine=engine,
+        flush_every=args.flush_every,
+        max_failures=args.max_failures,
+        backoff=BackoffPolicy(seed=args.seed),
+        log=None if args.quiet else (
+            lambda message: print(message, file=sys.stderr, flush=True)
+        ),
+    )
+    try:
+        stats = worker.run()
+    except CoordinatorUnreachable as error:
+        print(f"coordinator unreachable: {error}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        print(f"interrupted: {worker.stats.summary()}", file=sys.stderr)
+        return 1
+    print(f"worker {worker.worker_id}: {stats.summary()}")
+    return 0
+
+
+def cmd_store(args) -> int:
+    import json as _json
+
+    from .campaign.store_sqlite import migrate_store, store_info
+
+    if args.store_command == "info":
+        try:
+            print(_json.dumps(store_info(args.path), indent=2, sort_keys=True))
+        except (OSError, ValueError) as error:
+            print(f"cannot read store {args.path!r}: {error}", file=sys.stderr)
+            return 2
+        return 0
+    # migrate
+    try:
+        migrated = migrate_store(args.src, args.dst)
+    except (OSError, ValueError) as error:
+        print(f"migrate failed: {error}", file=sys.stderr)
+        return 2
+    print(f"migrated {migrated} record(s): {args.src} -> {args.dst}")
+    return 0
 
 
 def cmd_synth(args) -> int:
@@ -551,7 +726,29 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=int, default=0,
                           help="worker processes (0 = one per available CPU)")
     campaign.add_argument("--store", default="campaign_results.jsonl",
-                          help="JSONL result store path (resume target)")
+                          help="result store path (resume target); a "
+                               ".sqlite/.sqlite3/.db suffix selects the "
+                               "indexed sqlite backend")
+    mode = campaign.add_mutually_exclusive_group()
+    mode.add_argument("--serve", action="store_true",
+                      help="run as a lease coordinator over HTTP; workers "
+                           "attach with 'repro-tp work'")
+    mode.add_argument("--distributed", action="store_true",
+                      help="run coordinator + local worker fleet instead of "
+                           "the in-process pool")
+    campaign.add_argument("--host", default="127.0.0.1",
+                          help="coordinator bind address for --serve / "
+                               "--distributed")
+    campaign.add_argument("--port", type=int, default=0,
+                          help="coordinator port (0 = pick a free one)")
+    campaign.add_argument("--shard-size", type=int, default=8,
+                          help="trials per lease shard")
+    campaign.add_argument("--lease-ttl", type=float, default=30.0,
+                          help="lease deadline in seconds; an expired lease "
+                               "re-issues its unresolved trials")
+    campaign.add_argument("--status-interval", type=float, default=0.0,
+                          help="with --serve: print the /status capacity "
+                               "view every S seconds (0 = only at the end)")
     campaign.add_argument("--timeout", type=float, default=0.0,
                           help="per-trial wall-clock budget in seconds (0 = off)")
     campaign.add_argument("--retries", type=int, default=1,
@@ -567,6 +764,45 @@ def build_parser() -> argparse.ArgumentParser:
                                "registers each genome as an extra attack "
                                "and adds it to the grid")
     campaign.set_defaults(func=cmd_campaign)
+
+    work = subparsers.add_parser(
+        "work",
+        help="pull trial leases from a campaign coordinator and run them",
+    )
+    work.add_argument("--coordinator", required=True,
+                      help="coordinator base URL (printed by campaign --serve)")
+    work.add_argument("--jobs", type=int, default=1,
+                      help="worker processes to run against the coordinator")
+    work.add_argument("--engine", choices=("", "scalar", "batch"), default="",
+                      help="execute trials on this engine regardless of the "
+                           "lease's label (records keep the lease identity; "
+                           "batch is contract-tested bit-identical)")
+    work.add_argument("--name", default="",
+                      help="worker id prefix (default: host:pid)")
+    work.add_argument("--seed", type=int, default=0,
+                      help="backoff-jitter seed (worker index is added)")
+    work.add_argument("--flush-every", type=int, default=1,
+                      help="trials per result flush to the coordinator")
+    work.add_argument("--max-failures", type=int, default=8,
+                      help="consecutive coordinator failures before giving up")
+    work.add_argument("--quiet", action="store_true",
+                      help="suppress reconnect/progress log lines")
+    work.set_defaults(func=cmd_work)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or convert campaign result stores"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    info = store_sub.add_parser("info", help="summarize a result store")
+    info.add_argument("path", help="store path (.jsonl or .sqlite)")
+    migrate = store_sub.add_parser(
+        "migrate",
+        help="copy records between stores (JSONL <-> sqlite), preserving "
+             "order and resume semantics",
+    )
+    migrate.add_argument("src", help="source store path")
+    migrate.add_argument("dst", help="destination store path")
+    store.set_defaults(func=cmd_store)
 
     synth = subparsers.add_parser(
         "synth",

@@ -49,7 +49,10 @@ _SCOPE_SEGMENTS = {
     # Synth is in SC-3 scope too: genome primitives observe hardware
     # through timed accesses, and any state element a genome-built
     # victim or spy constructs must be registered and enumerated.
-    "SC-3": {"hardware", "core", "synth"},
+    # Campaign rides along: the distributed service (campaign.service)
+    # replays trials on remote workers, so any state element it were to
+    # construct out-of-registry would desync fleet and pool runs.
+    "SC-3": {"hardware", "core", "synth", "campaign"},
     # SC-4 secret-taint: everywhere secrets are handled -- victims and
     # trojans encode them, the kernel switches between their domains,
     # and core/ carries them through the secret-swap experiments.

@@ -1,0 +1,209 @@
+"""Lease lifecycle: no trial lost, none double-counted, fake clock only."""
+
+import pytest
+
+from repro.campaign import TrialSpec
+from repro.campaign.service import BackoffPolicy, LeaseTable, plan_payloads
+from repro.campaign.service.leases import (
+    ACCEPTED,
+    AVAILABLE,
+    DONE,
+    DUPLICATE,
+    LEASED,
+    UNKNOWN,
+)
+
+
+def _payloads(n, timeout_s=0.0):
+    trials = [TrialSpec("tiny", "none", "e5", seed=i) for i in range(n)]
+    return plan_payloads(trials, timeout_s=timeout_s)
+
+
+def _record(key, status="ok"):
+    return {"key": key, "status": status, "result": None}
+
+
+class TestPlanAndShard:
+    def test_payloads_embed_timeout_and_key(self):
+        payloads = _payloads(3, timeout_s=2.5)
+        assert all(p["timeout_s"] == 2.5 for p in payloads)
+        assert [p["key"] for p in payloads] == [
+            TrialSpec("tiny", "none", "e5", seed=i).key() for i in range(3)
+        ]
+
+    def test_sharding_is_deterministic_and_ordered(self):
+        table = LeaseTable(_payloads(10), shard_size=4)
+        assert [s.shard_id for s in table.shards] == [0, 1, 2]
+        assert [s.open_count for s in table.shards] == [4, 4, 2]
+        flattened = [
+            key for shard in table.shards for key in shard.pending
+        ]
+        assert flattened == [p["key"] for p in _payloads(10)]
+        assert table.total == 10 and not table.done
+
+    def test_shard_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LeaseTable(_payloads(2), shard_size=0)
+
+
+class TestLeaseLifecycle:
+    def test_acquire_grants_each_shard_once(self):
+        table = LeaseTable(_payloads(4), shard_size=2, lease_ttl_s=10.0)
+        first = table.acquire("w0", now=0.0)
+        second = table.acquire("w1", now=0.0)
+        assert first["shard"] != second["shard"]
+        assert first["generation"] == second["generation"] == 1
+        assert first["ttl_s"] == 10.0
+        assert len(first["trials"]) == 2
+        assert table.acquire("w2", now=0.0) is None  # everything leased
+
+    def test_heartbeat_extends_live_lease(self):
+        table = LeaseTable(_payloads(2), shard_size=2, lease_ttl_s=10.0)
+        grant = table.acquire("w0", now=0.0)
+        assert table.heartbeat(grant["shard"], grant["generation"], now=8.0)
+        # Without the heartbeat the lease would have expired at t=10.
+        assert table.expire(now=12.0) == []
+        assert table.expire(now=19.0) == [grant["shard"]]
+
+    def test_stale_or_unknown_heartbeat_is_rejected(self):
+        table = LeaseTable(_payloads(2), shard_size=2, lease_ttl_s=1.0)
+        grant = table.acquire("w0", now=0.0)
+        assert not table.heartbeat(grant["shard"], 99, now=0.5)
+        assert not table.heartbeat(7, 1, now=0.5)  # out-of-range shard
+        assert table.stats.stale_heartbeats == 1
+
+    def test_expired_lease_reissues_only_unresolved_trials(self):
+        table = LeaseTable(_payloads(4), shard_size=4, lease_ttl_s=5.0)
+        grant = table.acquire("w0", now=0.0)
+        keys = [t["key"] for t in grant["trials"]]
+        assert table.submit(
+            grant["shard"], grant["generation"], _record(keys[0]), now=1.0
+        ) == ACCEPTED
+        # Worker dies; lease expires; the re-issued grant carries only
+        # the three unresolved trials at a bumped generation.
+        regrant = table.acquire("w1", now=20.0)
+        assert table.stats.leases_expired == 1
+        assert regrant["generation"] == 2
+        assert [t["key"] for t in regrant["trials"]] == keys[1:]
+
+    def test_no_trial_double_counted_across_generations(self):
+        table = LeaseTable(_payloads(2), shard_size=2, lease_ttl_s=5.0)
+        grant = table.acquire("w0", now=0.0)
+        keys = [t["key"] for t in grant["trials"]]
+        regrant = table.acquire("w1", now=10.0)  # w0 presumed dead
+        # w1 resolves both; then the zombie w0 reports the same work.
+        for key in keys:
+            assert table.submit(
+                regrant["shard"], regrant["generation"], _record(key), 11.0
+            ) == ACCEPTED
+        for key in keys:
+            assert table.submit(
+                grant["shard"], grant["generation"], _record(key), 12.0
+            ) == DUPLICATE
+        assert table.done
+        assert table.stats.accepted == 2 and table.stats.duplicates == 2
+
+    def test_stale_generation_result_still_resolves_open_trial(self):
+        # A slow-but-alive worker beats the re-issued lease: its finished
+        # work is accepted (records are pure functions of the spec).
+        table = LeaseTable(_payloads(1), shard_size=1, lease_ttl_s=5.0)
+        grant = table.acquire("w0", now=0.0)
+        key = grant["trials"][0]["key"]
+        table.acquire("w1", now=10.0)
+        assert table.submit(
+            grant["shard"], grant["generation"], _record(key), 11.0
+        ) == ACCEPTED
+        assert table.stats.stale_accepted == 1
+        assert table.done
+
+    def test_unknown_key_is_rejected(self):
+        table = LeaseTable(_payloads(1), shard_size=1)
+        grant = table.acquire("w0", now=0.0)
+        assert table.submit(
+            grant["shard"], grant["generation"], _record("bogus"), 0.5
+        ) == UNKNOWN
+        assert table.submit(
+            grant["shard"], grant["generation"], {"status": "ok"}, 0.5
+        ) == UNKNOWN
+
+    def test_progress_extends_deadline(self):
+        table = LeaseTable(_payloads(2), shard_size=2, lease_ttl_s=10.0)
+        grant = table.acquire("w0", now=0.0)
+        keys = [t["key"] for t in grant["trials"]]
+        table.submit(grant["shard"], grant["generation"], _record(keys[0]), 9.0)
+        assert table.expire(now=15.0) == []  # submission reset the clock
+        shard = table.shards[grant["shard"]]
+        assert shard.state == LEASED and shard.open_count == 1
+
+    def test_failed_records_resolve_but_count_as_failed(self):
+        table = LeaseTable(_payloads(1), shard_size=1)
+        grant = table.acquire("w0", now=0.0)
+        key = grant["trials"][0]["key"]
+        assert table.submit(
+            grant["shard"], grant["generation"], _record(key, "failed"), 1.0
+        ) == ACCEPTED
+        assert table.done
+        assert table.stats.failed == 1 and table.stats.succeeded == 0
+
+    def test_drained_shard_goes_done_and_never_reissues(self):
+        table = LeaseTable(_payloads(2), shard_size=2, lease_ttl_s=1.0)
+        grant = table.acquire("w0", now=0.0)
+        for trial in grant["trials"]:
+            table.submit(
+                grant["shard"], grant["generation"], _record(trial["key"]), 0.5
+            )
+        assert table.counts() == {AVAILABLE: 0, LEASED: 0, DONE: 1}
+        assert table.acquire("w1", now=100.0) is None
+        assert table.done and table.open_trials == 0
+
+
+class TestLossFreedomProperty:
+    def test_every_trial_resolved_under_heavy_churn(self):
+        """Simulated churn: leases keep expiring, workers keep dying, yet
+        the table converges with every key resolved exactly once."""
+        table = LeaseTable(_payloads(25), shard_size=4, lease_ttl_s=2.0)
+        now, resolved, rounds = 0.0, set(), 0
+        while not table.done:
+            rounds += 1
+            assert rounds < 200, "lease table failed to converge"
+            grant = table.acquire(f"w{rounds}", now=now)
+            if grant is None:
+                now += 1.0
+                continue
+            # Complete only the first trial of the lease, then "die";
+            # the rest must come back on a later generation.
+            key = grant["trials"][0]["key"]
+            outcome = table.submit(
+                grant["shard"], grant["generation"], _record(key), now
+            )
+            assert outcome == ACCEPTED
+            assert key not in resolved
+            resolved.add(key)
+            now += 5.0  # beyond the TTL: the remainder expires
+        assert resolved == {p["key"] for p in _payloads(25)}
+        assert table.stats.accepted == 25
+
+
+class TestBackoffPolicy:
+    def test_delays_are_bounded_and_grow(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=2.0, multiplier=2.0, seed=1)
+        delays = [policy.next_delay() for _ in range(10)]
+        assert all(0.0 < d <= 2.0 for d in delays)
+        assert delays[0] <= 0.1
+        assert max(delays) > 0.5  # the curve actually grew
+
+    def test_same_seed_same_delays(self):
+        a = BackoffPolicy(seed=42)
+        b = BackoffPolicy(seed=42)
+        assert [a.next_delay() for _ in range(6)] == [
+            b.next_delay() for _ in range(6)
+        ]
+
+    def test_reset_restarts_the_curve(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=5.0, seed=0)
+        for _ in range(5):
+            policy.next_delay()
+        assert policy.failures == 5
+        policy.reset()
+        assert policy.failures == 0
+        assert policy.next_delay() <= 0.1

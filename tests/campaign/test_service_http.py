@@ -1,0 +1,206 @@
+"""Live coordinator over HTTP: endpoints, worker loop, portable deadline."""
+
+import json
+import time
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+import pytest
+
+from repro.attacks.harness import ChannelResult
+from repro.campaign import TrialSpec, register_attack, unregister_attack
+from repro.campaign.service import (
+    BackoffPolicy,
+    CoordinatorUnreachable,
+    LeaseTable,
+    ServiceWorker,
+    plan_payloads,
+)
+from repro.campaign.service.coordinator import Coordinator, CoordinatorServer
+from repro.campaign.service.status import format_status
+from repro.campaign.service.worker import run_trial_with_deadline
+from repro.campaign.store import ResultStore
+
+
+def _quick_attack(tp, machine_factory, **params):
+    return ChannelResult(
+        name="quick", tp_label="quick", samples=[(0, 0), (1, 1)],
+        metadata={},
+    )
+
+
+def _sleepy_attack(tp, machine_factory, **params):
+    time.sleep(30)
+    return _quick_attack(tp, machine_factory)
+
+
+@pytest.fixture
+def fake_attacks():
+    register_attack("quick", _quick_attack)
+    register_attack("sleepy", _sleepy_attack)
+    yield
+    unregister_attack("quick")
+    unregister_attack("sleepy")
+
+
+def _trials(n, attack="quick"):
+    return [TrialSpec("tiny", "none", attack, seed=i) for i in range(n)]
+
+
+@pytest.fixture
+def live_server(fake_attacks, tmp_path):
+    store = ResultStore(str(tmp_path / "r.jsonl"))
+    table = LeaseTable(plan_payloads(_trials(4)), shard_size=2,
+                       lease_ttl_s=30.0)
+    coordinator = Coordinator(table, store, campaign="http-test")
+    server = CoordinatorServer(coordinator)
+    url = server.start()
+    yield url, table, store, coordinator
+    server.stop()
+
+
+def _post(url, path, payload):
+    request = urlrequest.Request(
+        url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urlrequest.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_lease_heartbeat_results_cycle(self, live_server):
+        url, table, store, _ = live_server
+        lease = _post(url, "/lease", {"worker": "t0"})["lease"]
+        assert lease["generation"] == 1 and len(lease["trials"]) == 2
+        beat = _post(url, "/heartbeat", {
+            "worker": "t0", "shard": lease["shard"],
+            "generation": lease["generation"],
+        })
+        assert beat["ok"] is True
+        record = {"key": lease["trials"][0]["key"], "status": "ok",
+                  "result": None}
+        outcome = _post(url, "/results", {
+            "worker": "t0", "shard": lease["shard"],
+            "generation": lease["generation"], "records": [record],
+        })
+        assert outcome["accepted"] == 1 and outcome["done"] is False
+        # The coordinator is the single writer: the record landed with
+        # its campaign label attached.
+        (stored,) = store.records()
+        assert stored["key"] == record["key"]
+        assert stored["campaign"] == "http-test"
+        # A duplicate submission is dropped, not re-appended.
+        again = _post(url, "/results", {
+            "worker": "t1", "shard": lease["shard"],
+            "generation": lease["generation"], "records": [record],
+        })
+        assert again["duplicate"] == 1 and len(store.records()) == 1
+
+    def test_status_endpoint_reports_progress(self, live_server):
+        url, *_ = live_server
+        with urlrequest.urlopen(url + "/status", timeout=10) as response:
+            status = json.loads(response.read())
+        assert status["campaign"] == "http-test"
+        assert status["total"] == 4 and status["resolved"] == 0
+        assert "capacity" in status and "workers" in status
+        assert "http-test" in format_status(status)
+
+    def test_unknown_endpoint_is_404(self, live_server):
+        url, *_ = live_server
+        with pytest.raises(urlerror.HTTPError) as excinfo:
+            _post(url, "/nope", {})
+        assert excinfo.value.code == 404
+
+    def test_malformed_json_is_400_and_server_survives(self, live_server):
+        url, *_ = live_server
+        request = urlrequest.Request(
+            url + "/lease", data=b"not json{", method="POST"
+        )
+        with pytest.raises(urlerror.HTTPError) as excinfo:
+            urlrequest.urlopen(request, timeout=10)
+        assert excinfo.value.code in (400, 500)
+        # Server still answers afterwards.
+        assert _post(url, "/lease", {"worker": "t0"})["lease"] is not None
+
+
+class TestServiceWorker:
+    def test_worker_drains_the_grid(self, live_server):
+        url, table, store, _ = live_server
+        worker = ServiceWorker(url, worker_id="inline",
+                               backoff=BackoffPolicy(seed=0))
+        stats = worker.run()
+        assert stats.trials == 4 and stats.succeeded == 4
+        assert table.done
+        assert len(store.records()) == 4
+        assert store.completed_keys() == {t.key() for t in _trials(4)}
+
+    def test_two_sequential_workers_split_without_overlap(self, live_server):
+        url, table, store, _ = live_server
+        first = ServiceWorker(url, worker_id="a")
+        lease = first._call("/lease", {"worker": "a"})["lease"]
+        first._run_lease(lease)
+        second = ServiceWorker(url, worker_id="b")
+        second.run()
+        assert table.done and table.stats.duplicates == 0
+        assert len(store.records()) == 4
+
+    def test_engine_preference_keeps_lease_identity(self, live_server):
+        url, table, store, _ = live_server
+        worker = ServiceWorker(url, worker_id="relabel", engine="batch")
+        worker.run()
+        assert table.done
+        for record in store.records():
+            # The record keeps the lease's scalar identity; the engine
+            # actually used is volatile worker metadata.
+            assert record["engine"] == "scalar"
+            assert "/engine=" not in record["key"]
+            assert record["worker"]["executed_engine"] == "batch"
+
+    def test_backoff_gives_up_with_coordinator_unreachable(self):
+        sleeps = []
+        worker = ServiceWorker(
+            "http://127.0.0.1:1",  # nothing listens on port 1
+            worker_id="lost",
+            max_failures=3,
+            http_timeout_s=0.2,
+            backoff=BackoffPolicy(base_s=0.01, cap_s=0.05, seed=7),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(CoordinatorUnreachable):
+            worker.run()
+        # Two backoff sleeps before the third failure gives up, every
+        # delay bounded by the cap and drawn from the seeded stream.
+        assert len(sleeps) == 2
+        assert all(0 < delay <= 0.05 for delay in sleeps)
+        reference = BackoffPolicy(base_s=0.01, cap_s=0.05, seed=7)
+        assert sleeps == [reference.next_delay() for _ in range(2)]
+
+
+class TestPortableDeadline:
+    def test_inline_when_no_budget(self, fake_attacks):
+        payload = plan_payloads(_trials(1), timeout_s=0.0)[0]
+        record = run_trial_with_deadline(payload)
+        assert record["status"] == "ok"
+        assert record["key"] == payload["key"]
+
+    def test_fast_trial_beats_its_deadline(self, fake_attacks):
+        payload = plan_payloads(_trials(1), timeout_s=20.0)[0]
+        record = run_trial_with_deadline(payload)
+        assert record["status"] == "ok"
+
+    def test_wedged_trial_is_terminated(self, fake_attacks):
+        payload = plan_payloads(_trials(1, attack="sleepy"), timeout_s=0.8)[0]
+        beats = []
+        started = time.monotonic()
+        record = run_trial_with_deadline(
+            payload, heartbeat=lambda: beats.append(1), poll_s=0.1
+        )
+        elapsed = time.monotonic() - started
+        assert record["status"] == "failed"
+        assert "deadline" in record["error"]
+        assert record["key"] == payload["key"]
+        assert elapsed < 10  # nowhere near the 30s sleep
+        assert beats  # the lease stayed warm while the trial ran

@@ -1,0 +1,217 @@
+"""Sqlite ResultStore: API parity with JSONL, migration, generations."""
+
+import json
+import threading
+
+import pytest
+
+from repro.campaign import ResultStore, open_store
+from repro.campaign.store_sqlite import (
+    SqliteResultStore,
+    migrate_jsonl_to_sqlite,
+    migrate_store,
+    store_info,
+)
+
+
+def _fill(store):
+    store.append({"key": "a", "status": "ok", "result": {"v": 1}})
+    store.append({"key": "b", "status": "failed", "result": None})
+    store.append({"key": "c", "status": "ok", "result": {"v": 3}})
+    store.append({"key": "a", "status": "ok", "result": {"v": 9}})  # re-run
+    return store
+
+
+class TestOpenStore:
+    def test_suffix_selects_backend(self, tmp_path):
+        assert isinstance(
+            open_store(str(tmp_path / "r.jsonl")), ResultStore
+        )
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            store = open_store(str(tmp_path / f"r{suffix}"))
+            assert isinstance(store, SqliteResultStore)
+            # Still a ResultStore: the executor's isinstance checks hold.
+            assert isinstance(store, ResultStore)
+
+    def test_store_objects_pass_through(self, tmp_path):
+        store = SqliteResultStore(str(tmp_path / "r.sqlite"))
+        assert open_store(store) is store
+
+
+class TestApiParity:
+    """Same operations, same answers, both backends."""
+
+    @pytest.fixture(params=["jsonl", "sqlite"])
+    def store(self, request, tmp_path):
+        if request.param == "jsonl":
+            return ResultStore(str(tmp_path / "r.jsonl"))
+        return SqliteResultStore(str(tmp_path / "r.sqlite"))
+
+    def test_append_requires_key(self, store):
+        with pytest.raises(ValueError):
+            store.append({"status": "ok"})
+
+    def test_len_and_records_order(self, store):
+        _fill(store)
+        assert len(store) == 4
+        assert [r["key"] for r in store.records()] == ["a", "b", "c", "a"]
+        assert [r["key"] for r in store.iter_records()] == ["a", "b", "c", "a"]
+
+    def test_completed_keys(self, store):
+        _fill(store)
+        assert store.completed_keys() == {"a", "c"}
+
+    def test_latest_by_key_last_record_wins(self, store):
+        _fill(store)
+        latest = store.latest_by_key()
+        assert latest["a"]["result"] == {"v": 9}
+        assert set(latest) == {"a", "c"}
+        everything = store.latest_by_key(status=None)
+        assert set(everything) == {"a", "b", "c"}
+        assert everything["a"]["result"] == {"v": 9}
+
+    def test_empty_store(self, store):
+        assert len(store) == 0
+        assert store.completed_keys() == set()
+        assert store.latest_by_key() == {}
+        assert store.records() == []
+
+
+class TestSqliteSpecifics:
+    def test_generations_count_reruns(self, tmp_path):
+        store = _fill(SqliteResultStore(str(tmp_path / "r.sqlite")))
+        assert store.generations("a") == 2
+        assert store.generations("b") == 1
+        assert store.generations("nope") == 0
+
+    def test_records_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        _fill(SqliteResultStore(path)).close()
+        reopened = SqliteResultStore(path)
+        assert len(reopened) == 4
+        assert reopened.completed_keys() == {"a", "c"}
+
+    def test_concurrent_threads_get_own_connections(self, tmp_path):
+        store = SqliteResultStore(str(tmp_path / "r.sqlite"))
+        _fill(store)
+        seen = []
+
+        def reader():
+            seen.append(store.completed_keys())
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == [{"a", "c"}] * 4
+
+
+class TestMigration:
+    def test_jsonl_to_sqlite_preserves_everything(self, tmp_path):
+        jsonl = _fill(ResultStore(str(tmp_path / "r.jsonl")))
+        sqlite_path = str(tmp_path / "r.sqlite")
+        migrated = migrate_jsonl_to_sqlite(jsonl.path, sqlite_path)
+        assert migrated == 4
+        converted = SqliteResultStore(sqlite_path)
+        assert converted.records() == jsonl.records()
+        assert converted.completed_keys() == jsonl.completed_keys()
+        assert converted.latest_by_key() == jsonl.latest_by_key()
+        assert converted.generations("a") == 2
+
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        jsonl = _fill(ResultStore(str(tmp_path / "r.jsonl")))
+        migrate_store(jsonl.path, str(tmp_path / "r.sqlite"))
+        migrate_store(str(tmp_path / "r.sqlite"), str(tmp_path / "rt.jsonl"))
+        original = (tmp_path / "r.jsonl").read_bytes()
+        round_tripped = (tmp_path / "rt.jsonl").read_bytes()
+        assert original == round_tripped
+
+    def test_resume_semantics_preserved(self, tmp_path):
+        jsonl = _fill(ResultStore(str(tmp_path / "r.jsonl")))
+        sqlite_path = str(tmp_path / "r.sqlite")
+        migrate_store(jsonl.path, sqlite_path)
+        # The executor's resume decision is completed_keys(): identical
+        # before and after migration, so the same trials are skipped.
+        assert open_store(sqlite_path).completed_keys() == \
+            jsonl.completed_keys()
+
+    def test_same_path_is_rejected(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        _fill(ResultStore(path))
+        with pytest.raises(ValueError):
+            migrate_store(path, path)
+
+    def test_store_info_counts(self, tmp_path):
+        jsonl = _fill(ResultStore(str(tmp_path / "r.jsonl")))
+        info = store_info(jsonl.path)
+        assert info["backend"] == "ResultStore"
+        assert info["records"] == 4
+        assert info["failed_records"] == 1
+        assert info["completed_keys"] == 2
+        migrate_store(jsonl.path, str(tmp_path / "r.sqlite"))
+        sqlite_info = store_info(str(tmp_path / "r.sqlite"))
+        assert sqlite_info["backend"] == "SqliteResultStore"
+        for field in ("records", "failed_records", "completed_keys"):
+            assert sqlite_info[field] == info[field]
+
+
+class TestJsonlScanCache:
+    """The mtime/size cache behind the JSONL read paths (satellite fix)."""
+
+    @pytest.fixture
+    def counting_store(self, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        scans = {"n": 0}
+        real_scan = ResultStore._scan_file
+
+        def counted(self):
+            scans["n"] += 1
+            return real_scan(self)
+
+        monkeypatch.setattr(ResultStore, "_scan_file", counted)
+        return store, scans
+
+    def test_repeated_reads_scan_once(self, counting_store):
+        store, scans = counting_store
+        _fill(store)
+        for _ in range(5):
+            store.completed_keys()
+            store.latest_by_key()
+            len(store)
+            store.records()
+        assert scans["n"] == 1
+
+    def test_append_keeps_cache_coherent_without_rescan(self, counting_store):
+        store, scans = counting_store
+        _fill(store)
+        assert store.completed_keys() == {"a", "c"}
+        store.append({"key": "d", "status": "ok", "result": None})
+        assert store.completed_keys() == {"a", "c", "d"}
+        assert [r["key"] for r in store.records()][-1] == "d"
+        assert scans["n"] == 1  # the writer never re-reads its own writes
+
+    def test_external_write_invalidates_cache(self, counting_store):
+        store, scans = counting_store
+        _fill(store)
+        assert store.completed_keys() == {"a", "c"}
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"key": "x", "status": "ok"}) + "\n")
+        assert store.completed_keys() == {"a", "c", "x"}
+        assert scans["n"] == 2
+
+    def test_cached_view_matches_fresh_scan_after_append(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        writer = _fill(ResultStore(path))
+        writer.append({"key": "e", "status": "ok", "result": {"t": (1, 2)}})
+        fresh = ResultStore(path)
+        # Tuples must round-trip to lists in the cached view too.
+        assert writer.records() == fresh.records()
+        assert writer.completed_keys() == fresh.completed_keys()
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        store = _fill(ResultStore(str(tmp_path / "r.jsonl")))
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn", "status"')  # killed mid-write
+        assert store.completed_keys() == {"a", "c"}
+        assert len(store) == 4
