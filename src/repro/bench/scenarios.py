@@ -116,6 +116,69 @@ def _run_mc_tiny():
     return _run_mc("tiny")
 
 
+def _run_mc_tiny_por():
+    # POR lever benchmark.  The default specs raise a single IRQ line,
+    # where the symmetric-line reduction is the identity; three lines
+    # make it real.  Runs POR-on as the measured work and POR-off as the
+    # reference, asserting identical verdicts -- the reduction ratio
+    # (states explored without POR / with POR) rides along so a soundness
+    # or pruning regression shows up in the bench diff.
+    from ..mc import McOptions, McSpec, ModelChecker
+
+    spec = McSpec.for_machine(
+        "tiny", "full", secrets=(0, 1), irq_lines=(1, 2, 3)
+    )
+    report = ModelChecker(spec).run()
+    reference = ModelChecker(spec, options=McOptions(por=False)).run()
+    assert report.passed == reference.passed
+    assert report.exhaustive == reference.exhaustive
+    visited = report.stats.states_visited
+    return visited, {
+        "por_pruned": report.stats.por_pruned,
+        "states_without_por": reference.stats.states_visited,
+        "reduction_ratio": round(
+            reference.stats.states_visited / max(1, visited), 3
+        ),
+    }
+
+
+def _run_mc_depth():
+    # Depth scaling: two IRQ injections per path multiply the reachable
+    # interleavings (~7x the states of the budget-1 run on micro), so
+    # this scenario tracks how per-state cost holds up as the frontier
+    # and path lengths grow -- the regime the incremental fingerprints
+    # and prefix-cached trace checks exist for.
+    from ..mc import McSpec, ModelChecker
+
+    spec = McSpec.for_machine("micro", "full", secrets=(0, 1), irq_budget=2)
+    report = ModelChecker(spec).run()
+    return report.stats.states_visited, {
+        "max_depth": report.stats.max_depth,
+        "peak_frontier": report.stats.peak_frontier,
+    }
+
+
+def _run_mc_batch_expand():
+    # Batched frontier expansion through the vectorized lockstep engine,
+    # on an uncoloured config (the batch path records no instrumentation
+    # touches, so it is gated off when the partition audit needs them).
+    # The scalar run is the reference; verdict and state count must
+    # match exactly.
+    from ..mc import McOptions, McSpec, ModelChecker
+
+    spec = McSpec.for_machine("tiny", "no-colour", secrets=(0, 1))
+    report = ModelChecker(
+        spec, options=McOptions(batch_expand=True)
+    ).run()
+    reference = ModelChecker(spec).run()
+    assert report.passed == reference.passed
+    assert report.stats.states_visited == reference.stats.states_visited
+    return report.stats.states_visited, {
+        "max_depth": report.stats.max_depth,
+        "passed": report.passed,
+    }
+
+
 def _run_synth_generation():
     # E14/E15 synthesis throughput: one seeded evolutionary generation
     # (initial population + one mutate-and-select round) on tiny with TP
@@ -406,6 +469,23 @@ SCENARIOS: Dict[str, Scenario] = {
             "mc_tiny",
             "exhaustive product-state model check on tiny, tp full",
             _run_mc_tiny,
+        ),
+        Scenario(
+            "mc_tiny_por",
+            "3-IRQ-line model check on tiny with POR on vs off "
+            "(asserts identical verdicts; reports reduction ratio)",
+            _run_mc_tiny_por,
+        ),
+        Scenario(
+            "mc_depth",
+            "deeper model check on micro with two IRQ injections per path",
+            _run_mc_depth,
+        ),
+        Scenario(
+            "mc_batch_expand",
+            "batched frontier expansion on uncoloured tiny vs the scalar "
+            "explorer (asserts identical verdict and state count)",
+            _run_mc_batch_expand,
         ),
         Scenario(
             "campaign_store",

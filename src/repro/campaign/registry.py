@@ -32,6 +32,7 @@ from ..kernel import TimeProtectionConfig
 MACHINES: Dict[str, Callable] = {
     "micro": presets.micro_machine,
     "tiny": presets.tiny_machine,
+    "pocket": presets.pocket_machine,
     "tiny2": lambda: presets.tiny_machine(n_cores=2),
     "desktop": presets.desktop_machine,
     "smt": presets.tiny_smt_machine,

@@ -135,32 +135,52 @@ def cmd_prove(args) -> int:
 def cmd_mc(args) -> int:
     import time
 
-    from .mc import McSpec, ModelChecker, render_json, render_text
+    from .mc import McOptions, McSpec, ModelChecker, render_json, render_text
 
     try:
         secrets = tuple(int(s) for s in args.secrets.split(",") if s.strip())
-        spec = McSpec.for_machine(
-            args.machine,
-            args.tp,
+        overrides = dict(
             secrets=secrets,
             depth=args.depth,
             max_states=args.max_states,
+            irq_budget=args.irq_budget,
         )
+        if args.irq_lines:
+            overrides["irq_lines"] = tuple(
+                int(line) for line in args.irq_lines.split(",") if line.strip()
+            )
+        spec = McSpec.for_machine(args.machine, args.tp, **overrides)
     except (KeyError, ValueError) as error:
         print(f"invalid mc spec: {error}", file=sys.stderr)
         return 2
     if len(spec.secrets) < 2:
         print("need at least two distinct secrets", file=sys.stderr)
         return 2
+    from dataclasses import replace as _replace
+
+    base = McOptions.exact() if args.exact else McOptions(
+        por=args.por,
+        incremental=args.incremental,
+        fast_clone=args.fast_clone,
+        batch_expand=args.batch_expand,
+        batch_width=args.batch_width,
+    )
+    options = _replace(
+        base,
+        bitstate_mb=args.bitstate,
+        spill_ram_states=args.spill_ram,
+        spill_dir=args.spill_dir or None,
+        profile=args.profile,
+    )
     started = time.perf_counter()
-    report = ModelChecker(spec, jobs=args.jobs).run()
+    report = ModelChecker(spec, jobs=args.jobs, options=options).run()
     elapsed = time.perf_counter() - started
     if args.format == "json":
         print(render_json(report))
     else:
         print(render_text(report))
-        rate = report.stats.transitions / elapsed if elapsed > 0 else 0.0
-        print(f"[{elapsed:.2f}s wall, {rate:.0f} transitions/s]")
+        rate = report.stats.states_visited / elapsed if elapsed > 0 else 0.0
+        print(f"[{elapsed:.2f}s wall, {rate:.0f} states/s]")
     return 0 if report.passed else 1
 
 
@@ -682,6 +702,41 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--max-states", type=int, default=200_000,
                     help="visited-set memory bound")
     mc.add_argument("--format", choices=("text", "json"), default="text")
+    mc.add_argument("--irq-lines", default="",
+                    help="comma-separated IRQ lines the scheduler may raise "
+                         "(default: the spec's, normally just line 1)")
+    mc.add_argument("--irq-budget", type=int, default=1,
+                    help="max IRQ injections per explored path")
+    mc.add_argument("--profile", action="store_true",
+                    help="report per-phase wall-clock breakdown "
+                         "(clone/step/check/fingerprint/dedup)")
+    mc.add_argument("--exact", action="store_true",
+                    help="seed-equivalent exploration: POR, incremental "
+                         "fingerprints, and fast clone all off")
+    mc.add_argument("--no-por", dest="por", action="store_false",
+                    help="disable symmetric-IRQ partial-order reduction")
+    mc.add_argument("--no-incremental", dest="incremental",
+                    action="store_false",
+                    help="disable incremental (chain-digest) fingerprints")
+    mc.add_argument("--no-fast-clone", dest="fast_clone",
+                    action="store_false",
+                    help="snapshot states with deepcopy instead of the "
+                         "hand-rolled clone")
+    mc.add_argument("--batch-expand", action="store_true",
+                    help="expand frontier waves through the vectorized "
+                         "batch engine (uncoloured configs only)")
+    mc.add_argument("--batch-width", type=int, default=32,
+                    help="max states per batched expansion wave")
+    mc.add_argument("--bitstate", type=float, default=None, metavar="MB",
+                    help="replace the exact visited set with a Bloom "
+                         "bitstate of this many megabytes (verdicts become "
+                         "probabilistic-complete)")
+    mc.add_argument("--spill-ram", type=int, default=None, metavar="STATES",
+                    help="keep at most this many frontier entries in RAM, "
+                         "spilling the rest to disk")
+    mc.add_argument("--spill-dir", default="",
+                    help="directory for spilled frontier segments "
+                         "(default: a temp dir)")
     mc.set_defaults(func=cmd_mc)
 
     channels = subparsers.add_parser("channels", help="measure the attack suite")

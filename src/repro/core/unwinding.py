@@ -53,6 +53,48 @@ class UnwindingCheck:
         return head
 
 
+def projection_entry(
+    record,
+    observer: str,
+    colours: List[int],
+    kernel_colours: List[int],
+    way_partitioned: bool,
+) -> Optional[Tuple]:
+    """One switch record's Lo-projection entry; None for other targets.
+
+    The per-record building block of :func:`lo_projection`, exposed so
+    incremental consumers (the model checker's cursor mode) can extend
+    a cached projection one record at a time with identical entries.
+    """
+    if record.to_domain != observer:
+        return None
+    if way_partitioned:
+        own_view = tuple(
+            (observer, record.llc_owner_fingerprints.get(observer, ()))
+        )
+        kernel_view = tuple(
+            ("@kernel", record.llc_owner_fingerprints.get("@kernel", ()))
+        )
+    else:
+        own_view = tuple(
+            (colour, record.llc_colour_fingerprints.get(colour, ()))
+            for colour in colours
+        )
+        kernel_view = tuple(
+            (colour, record.llc_colour_fingerprints.get(colour, ()))
+            for colour in kernel_colours
+        )
+    return (
+        record.released_at,
+        tuple(
+            (name, record.post_flush_fingerprints[name])
+            for name in sorted(record.post_flush_fingerprints)
+        ),
+        own_view,
+        kernel_view,
+    )
+
+
 def lo_projection(kernel: Kernel, observer: str) -> List[Tuple]:
     """The Lo-relevant state projection at each switch into ``observer``."""
     domain = kernel.domains[observer]
@@ -61,35 +103,11 @@ def lo_projection(kernel: Kernel, observer: str) -> List[Tuple]:
     way_partitioned = kernel.tp.way_partitioning
     projections = []
     for record in kernel.switch_records:
-        if record.to_domain != observer:
-            continue
-        if way_partitioned:
-            own_view = tuple(
-                (observer, record.llc_owner_fingerprints.get(observer, ()))
-            )
-            kernel_view = tuple(
-                ("@kernel", record.llc_owner_fingerprints.get("@kernel", ()))
-            )
-        else:
-            own_view = tuple(
-                (colour, record.llc_colour_fingerprints.get(colour, ()))
-                for colour in colours
-            )
-            kernel_view = tuple(
-                (colour, record.llc_colour_fingerprints.get(colour, ()))
-                for colour in kernel_colours
-            )
-        projections.append(
-            (
-                record.released_at,
-                tuple(
-                    (name, record.post_flush_fingerprints[name])
-                    for name in sorted(record.post_flush_fingerprints)
-                ),
-                own_view,
-                kernel_view,
-            )
+        entry = projection_entry(
+            record, observer, colours, kernel_colours, way_partitioned
         )
+        if entry is not None:
+            projections.append(entry)
     return projections
 
 

@@ -87,7 +87,8 @@ class _Lane:
         "cur_space", "cur_asid", "trans",
         "bcounters", "btb", "btb_order", "bhist", "bhmask", "btable",
         "bbtb_max", "bflush_cycles",
-        "words", "observations", "record_obs", "images", "kdata",
+        "words", "observations", "record_obs", "capture_cases", "cases",
+        "images", "kdata",
         "flush_on", "pad_on", "record_fp",
         "instr", "pc", "fcyc", "dcyc", "dpaddr", "fault",
     )
@@ -126,6 +127,8 @@ class _Lane:
         self.words = machine.memory._words
         self.observations = kernel.observations
         self.record_obs = kernel.record_observations
+        self.capture_cases = kernel.capture_cases
+        self.cases = kernel.step_cases
         self.images = {
             name: [
                 domain.kernel_image.line_paddr(line)
@@ -153,6 +156,12 @@ class _Lane:
         branch._btb = self.btb
         branch._btb_order = self.btb_order
         branch._history = self.bhist
+        # Direct-write syncs bypass the mutation hooks that maintain the
+        # memoised fingerprints; invalidate them explicitly.  The word
+        # store is aliased and mutated in place during the wave, so the
+        # memory fingerprint is stale too.
+        branch._fp_version += 1
+        self.machine.memory._fp_version += 1
         kernel = self.kernel
         kernel._current_tcb[self.core_id] = self.current
         kernel._finish_check_needed = self.finish_needed
@@ -289,6 +298,8 @@ def _fault_lane(lane: _Lane, cycles_so_far: int, trap_entry: int) -> None:
     tcb = lane.current
     # new_pc == pc for faults; pc was already normalised in place.
     tcb.steps_executed += 1
+    if lane.capture_cases:
+        lane.cases.append(("2a", tcb.domain.name))
     tcb.state = _FAULTED
     lane.finish_needed = True
     lane.current = None
@@ -406,6 +417,8 @@ def _finish_step(lane: _Lane, total: int, value, new_pc: int) -> None:
         lane.observations[tcb.domain.name].append(
             ObservationRecord(tcb.name, value, total)
         )
+    if lane.capture_cases:
+        lane.cases.append(("1", tcb.domain.name))
     lane.steps += 1
 
 
@@ -582,6 +595,8 @@ def _execute_wave(hw: BatchHardware, kmat, groups: Dict) -> None:
             lane.observations[tcb.domain.name].append(
                 ObservationRecord(tcb.name, lane.clock, total)
             )
+        if lane.capture_cases:
+            lane.cases.append(("1", tcb.domain.name))
         lane.steps += 1
 
     for lane in groups[Branch]:
@@ -686,6 +701,8 @@ def _execute_syscalls(hw: BatchHardware, kmat, lanes: List[_Lane]) -> None:
                 )
             if outcome.yielded:
                 lane.current = None
+            if lane.capture_cases:
+                lane.cases.append(("2a", tcb.domain.name))
             _refresh_switch_at(lane)  # "call" may have forced a switch
             lane.steps += 1
 
@@ -865,6 +882,10 @@ def _process_switches(
                 llc_owner_fingerprints={},
             )
         )
+        if lane.capture_cases:
+            lane.cases.append(
+                ("2b", f"@switch:{from_domains[i].name}>{to_domains[i].name}")
+            )
         lane.kernel.scheduler.advance(lane.core_id, release_time=released_at)
         lane.kernel.irq_policy.apply_masks(lane.core.irq, to_domains[i])
         lane.current = None

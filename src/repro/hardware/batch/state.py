@@ -117,6 +117,9 @@ class CacheArrays:
                 ]
             )
         cache._sets = new_sets
+        # Direct-write sync bypasses the mutation hooks that maintain the
+        # memoised fingerprint; invalidate it explicitly.
+        cache._fp_version += 1
 
     # -- hot path -------------------------------------------------------
 
@@ -320,6 +323,7 @@ class TlbArrays:
                 generation=int(self.generation[lane_index, slot]),
             )
         tlb._entries = entries
+        tlb._fp_version += 1
 
     def lookup(self, lanes, key):
         """Vectorized ``Tlb.lookup`` on fused (asid, vpage) match keys.
@@ -423,6 +427,7 @@ class PrefetcherArrays:
                 stamp=int(self.stamp[lane_index, slot]),
             )
         prefetcher._table = table
+        prefetcher._fp_version += 1
 
     def observe(self, lanes, paddr):
         """Vectorized ``StridePrefetcher.observe``.

@@ -61,6 +61,7 @@ class BranchPredictor(StateElement):
 
     def predict_and_update(self, pc: int, taken: bool, target: int) -> PredictResult:
         """Predict branch at ``pc``, then train on the actual outcome."""
+        self._fp_version += 1
         index = self._table_index(pc)
         self._touch(index, TouchKind.PREDICT)
         counter = self._counters.get(index, 1)  # weakly not-taken reset state
@@ -101,7 +102,29 @@ class BranchPredictor(StateElement):
         self._btb.clear()
         self._btb_order.clear()
         self._history = 0
+        self._fp_version += 1
         return FlushResult(cycles=self.flush_latency_cycles)
+
+    def clone_for_mc(self, instrumentation) -> "BranchPredictor":
+        """Independent copy sharing only immutable configuration."""
+        other = BranchPredictor.__new__(BranchPredictor)
+        other.name = self.name
+        other.category = self.category
+        other.scope = self.scope
+        other.instr = instrumentation
+        other.concurrently_shared = self.concurrently_shared
+        other._fp_version = self._fp_version
+        other._fp_cache = self._fp_cache
+        other._fp_digest = self._fp_digest
+        other.table_size = self.table_size
+        other.btb_entries = self.btb_entries
+        other.history_mask = self.history_mask
+        other.flush_latency_cycles = self.flush_latency_cycles
+        other._counters = dict(self._counters)
+        other._btb = dict(self._btb)
+        other._btb_order = list(self._btb_order)
+        other._history = self._history
+        return other
 
     def audit_state(self):
         """Copies of the counter table, BTB, BTB fill order and history

@@ -123,6 +123,8 @@ class Cache(StateElement):
         self._ways = geometry.ways
         self._is_lru = policy is ReplacementPolicy.LRU
         self._is_plru = policy is ReplacementPolicy.PLRU
+        self._n_colours = geometry.n_colours(page_size)
+        self._sets_per_colour = geometry.sets_per_colour(page_size)
         self.hit_cycles = latency.hit_cycles
         self.writeback_cycles_per_line = latency.writeback_cycles_per_line
         self._sets: List[List[CacheLine]] = [[] for _ in range(geometry.sets)]
@@ -137,6 +139,50 @@ class Cache(StateElement):
         # happen if the configured quotas over-commit the associativity).
         self.way_quota: Dict[str, int] = {}
         self.quota_violations: List[str] = []
+
+    def clone_for_mc(self, instrumentation) -> "Cache":
+        """An independent copy sharing only immutable configuration.
+
+        Geometry, latency params and precomputed masks are frozen or
+        write-once, so the clone aliases them; per-line state is rebuilt
+        with fresh :class:`CacheLine` objects.
+        """
+        other = Cache.__new__(Cache)
+        other.name = self.name
+        other.category = self.category
+        other.scope = self.scope
+        other.instr = instrumentation
+        other.concurrently_shared = self.concurrently_shared
+        other._fp_version = self._fp_version
+        other._fp_cache = self._fp_cache
+        other._fp_digest = self._fp_digest
+        other.geometry = self.geometry
+        other.latency = self.latency
+        other.page_size = self.page_size
+        other.policy = self.policy
+        other.flush_is_broken = self.flush_is_broken
+        other._offset_bits = self._offset_bits
+        other._index_mask = self._index_mask
+        other._tag_shift = self._tag_shift
+        other._ways = self._ways
+        other._is_lru = self._is_lru
+        other._is_plru = self._is_plru
+        other._n_colours = self._n_colours
+        other._sets_per_colour = self._sets_per_colour
+        other.hit_cycles = self.hit_cycles
+        other.writeback_cycles_per_line = self.writeback_cycles_per_line
+        other._sets = [
+            [
+                CacheLine(line.tag, line.dirty, line.stamp, line.owner)
+                for line in lines
+            ]
+            for lines in self._sets
+        ]
+        other._tick = self._tick
+        other._plru_bits = list(self._plru_bits)
+        other.way_quota = dict(self.way_quota)
+        other.quota_violations = list(self.quota_violations)
+        return other
 
     # ------------------------------------------------------------------
     # Lookup / fill
@@ -159,21 +205,28 @@ class Cache(StateElement):
         if self._is_lru:
             # LRU (the default policy) needs no way index on a hit, so it
             # skips the enumerate machinery of the general loop below.
+            # A read hit only refreshes the LRU stamp, which the
+            # fingerprint does not observe, so the fingerprint version is
+            # bumped only when a hit dirties a clean line.
             for line in lines:
                 if line.tag == tag:
                     line.stamp = tick
-                    if write:
+                    if write and not line.dirty:
                         line.dirty = True
+                        self._fp_version += 1
                     return AccessResult(True, set_index)
         else:
             for way, line in enumerate(lines):
                 if line.tag == tag:
                     if self._is_plru:
                         self._plru_point_away(set_index, way)
-                    if write:
+                        self._fp_version += 1
+                    if write and not line.dirty:
                         line.dirty = True
+                        self._fp_version += 1
                     return AccessResult(True, set_index)
         # Miss: fill, possibly evicting the replacement victim.
+        self._fp_version += 1
         owner = self._owner_tag() if self.way_quota else None
         dirty_writeback = False
         evicted_tag = None
@@ -302,6 +355,7 @@ class Cache(StateElement):
         for line in lines:
             if line.tag == tag:
                 lines.remove(line)
+                self._fp_version += 1
                 self.instr.touch(self.name, set_index, TouchKind.EVICT)
                 return True
         return False
@@ -322,7 +376,10 @@ class Cache(StateElement):
 
     def resident_tags(self, set_index: int) -> Tuple[int, ...]:
         """Tags currently resident in ``set_index`` (sorted)."""
-        return tuple(sorted(line.tag for line in self._sets[set_index]))
+        tags = [line.tag for line in self._sets[set_index]]
+        if len(tags) > 1:
+            tags.sort()
+        return tuple(tags)
 
     def audit_lines(self) -> Tuple[Tuple["CacheLine", ...], ...]:
         """Every set's lines in residency order (audit accessor).
@@ -366,6 +423,7 @@ class Cache(StateElement):
             self.latency.flush_base_cycles
             + dirty * self.latency.writeback_cycles_per_line
         )
+        self._fp_version += 1
         if self.flush_is_broken:
             for set_index, lines in enumerate(self._sets):
                 if set_index % 4 != 0:
@@ -379,23 +437,30 @@ class Cache(StateElement):
         return FlushResult(cycles=cycles, lines_written_back=dirty)
 
     def fingerprint(self) -> Hashable:
-        occupancy = tuple(
-            (set_index, tuple(sorted((line.tag, line.dirty) for line in lines)))
-            for set_index, lines in enumerate(self._sets)
-            if lines
-        )
-        plru = tuple(
-            (set_index, bits)
-            for set_index, bits in enumerate(self._plru_bits)
-            if bits
-        )
-        return (occupancy, plru)
+        occupancy = []
+        for set_index, lines in enumerate(self._sets):
+            if lines:
+                pairs = [(line.tag, line.dirty) for line in lines]
+                if len(pairs) > 1:
+                    pairs.sort()
+                occupancy.append((set_index, tuple(pairs)))
+        if any(self._plru_bits):
+            plru = tuple(
+                (set_index, bits)
+                for set_index, bits in enumerate(self._plru_bits)
+                if bits
+            )
+        else:
+            plru = ()
+        return (tuple(occupancy), plru)
 
     def reset_fingerprint(self) -> Hashable:
         return ((), ())
 
     def partition_of_index(self, index: Hashable) -> Hashable:
-        return self.geometry.colour_of_set(int(index), self.page_size)
+        if self._n_colours == 1:
+            return 0
+        return int(index) // self._sets_per_colour
 
     @property
     def n_partitions(self) -> int:

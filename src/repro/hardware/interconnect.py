@@ -66,6 +66,18 @@ class Interconnect:
         self.total_transfers = 0
         self.per_core_transfers: Dict[int, int] = {}
 
+    def clone_for_mc(self) -> "Interconnect":
+        """Independent copy sharing the (frozen-by-convention) config."""
+        other = Interconnect.__new__(Interconnect)
+        other.transfer_cycles = self.transfer_cycles
+        other.mba = self.mba
+        other._busy_until = self._busy_until
+        other._window_start = dict(self._window_start)
+        other._window_count = dict(self._window_count)
+        other.total_transfers = self.total_transfers
+        other.per_core_transfers = dict(self.per_core_transfers)
+        return other
+
     def request(self, core: int, now: int) -> TransferResult:
         """Serve one memory transfer for ``core`` starting at ``now``.
 

@@ -109,6 +109,16 @@ class InterruptController:
             )
         return deliverable
 
+    def clone_for_mc(self) -> "InterruptController":
+        """Independent copy (heap entries are immutable tuples)."""
+        other = InterruptController.__new__(InterruptController)
+        other.n_lines = self.n_lines
+        other._masked = set(self._masked)
+        other._pending = list(self._pending)
+        other._seq = self._seq
+        other.delivered_count = dict(self.delivered_count)
+        return other
+
     def next_unmasked_fire_time(self) -> Optional[int]:
         """Earliest fire time among pending interrupts on unmasked lines."""
         times = [

@@ -212,6 +212,50 @@ class Machine:
             flush_is_broken=broken,
         )
 
+    def clone_for_mc(self) -> "Machine":
+        """A hand-rolled deep copy for model-checker snapshots.
+
+        Behaviourally identical to ``copy.deepcopy`` but ~10x faster:
+        immutable configuration (config, geometries, latency tables,
+        Frame objects) is shared, mutable state is copied field by
+        field.  Scalar-engine, non-SMT machines only -- SMT element
+        sharing and counting instrumentation fall back to deepcopy in
+        ``Kernel.snapshot``-based callers.
+        """
+        if self.config.smt:
+            raise TypeError("clone_for_mc does not support SMT machines")
+        if type(self.instrumentation) is not Instrumentation:
+            raise TypeError(
+                "clone_for_mc needs plain Instrumentation "
+                f"(got {type(self.instrumentation).__name__})"
+            )
+        other = Machine.__new__(Machine)
+        other.config = self.config
+        other.engine = self.engine
+        other.instrumentation = self.instrumentation.clone()
+        other.memory = self.memory.clone_for_mc()
+        other.interconnect = self.interconnect.clone_for_mc()
+        other.llc = self.llc.clone_for_mc(other.instrumentation)
+        other.cores = []
+        for core in self.cores:
+            clone = Core(
+                core_id=core.core_id,
+                clock=CycleClock(core.clock.now),
+                l1i=core.l1i.clone_for_mc(other.instrumentation),
+                l1d=core.l1d.clone_for_mc(other.instrumentation),
+                l2=core.l2.clone_for_mc(other.instrumentation),
+                llc=other.llc,
+                tlb=core.tlb.clone_for_mc(other.instrumentation),
+                branch=core.branch.clone_for_mc(other.instrumentation),
+                prefetcher=core.prefetcher.clone_for_mc(other.instrumentation),
+                irq=core.irq.clone_for_mc(),
+                interconnect=other.interconnect,
+                memory=other.memory,
+                latency=self.config.latency,
+            )
+            other.cores.append(clone)
+        return other
+
     def use_counting_instrumentation(self) -> CountingInstrumentation:
         """Swap in aggregate-count instrumentation (campaign fast path).
 
@@ -244,7 +288,14 @@ class Machine:
         """Every microarchitectural state element, deduplicated.
 
         SMT siblings share objects; each shared object appears once.
+        The element population is fixed at construction, so the list is
+        computed once per machine instance (deepcopy maps the cached
+        list onto the copied elements; ``clone_for_mc`` starts from a
+        bare instance and rebuilds it lazily).
         """
+        elements = getattr(self, "_elements_list", None)
+        if elements is not None:
+            return elements
         seen = set()
         elements = [self.llc]
         seen.add(id(self.llc))
@@ -253,6 +304,7 @@ class Machine:
                 if id(element) not in seen:
                     seen.add(id(element))
                     elements.append(element)
+        self._elements_list = elements
         return elements
 
     def flushable_elements_of_core(self, core_id: int) -> List:
@@ -260,8 +312,26 @@ class Machine:
         return self.cores[core_id].private_elements()
 
     def fingerprint_all(self):
-        """Fingerprints of every state element (for two-run comparison)."""
+        """Fingerprints of every state element (for two-run comparison).
+
+        Uses the version-memoised accessor: elements recompute their
+        canonical digest only when they actually mutated since the last
+        call (the model checker calls this after every transition).
+        """
         return tuple(
-            (element.name, element.fingerprint())
+            (element.name, element.cached_fingerprint())
+            for element in self.all_state_elements()
+        )
+
+    def digest_all(self) -> tuple:
+        """16-byte digest per state element, version-memoised.
+
+        Equality-equivalent to :meth:`fingerprint_all` (two machines
+        digest equal iff every element fingerprint agrees, modulo
+        BLAKE2b collisions) but constant-size per element, so hashing a
+        whole machine state costs O(elements) instead of O(state).
+        """
+        return tuple(
+            (element.name, element.cached_digest())
             for element in self.all_state_elements()
         )

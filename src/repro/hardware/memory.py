@@ -10,6 +10,8 @@ paths.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
@@ -43,6 +45,11 @@ class PhysicalMemory:
         ]
         self._free: List[Frame] = list(self.frames)
         self._words: Dict[int, int] = {}
+        # Fingerprint memoisation (see StateElement.cached_fingerprint):
+        # bumped on every mutation of words or the free list.
+        self._fp_version = 0
+        self._fp_cache: Optional[tuple] = None
+        self._fp_digest: Optional[tuple] = None
 
     @property
     def size_bytes(self) -> int:
@@ -66,6 +73,7 @@ class PhysicalMemory:
         """
         for position, frame in enumerate(self._free):
             if colours is None or frame.colour in colours:
+                self._fp_version += 1
                 return self._free.pop(position)
         raise MemoryError(
             f"out of physical frames for colours {sorted(colours or set())}"
@@ -78,6 +86,7 @@ class PhysicalMemory:
         """Return frames to the free pool (kept sorted for determinism)."""
         self._free.extend(frames)
         self._free.sort(key=lambda frame: frame.number)
+        self._fp_version += 1
 
     # ------------------------------------------------------------------
     # Data plane (word granularity; addresses are byte addresses)
@@ -88,6 +97,41 @@ class PhysicalMemory:
 
     def write_word(self, paddr: int, value: int) -> None:
         self._words[paddr] = value
+        self._fp_version += 1
+
+    def cached_fingerprint(self) -> tuple:
+        """``fingerprint()``, memoised against the mutation version."""
+        cache = self._fp_cache
+        if cache is not None and cache[0] == self._fp_version:
+            return cache[1]
+        fp = self.fingerprint()
+        self._fp_cache = (self._fp_version, fp)
+        return fp
+
+    def cached_digest(self) -> bytes:
+        """BLAKE2b digest of ``fingerprint()``, memoised the same way."""
+        cache = self._fp_digest
+        if cache is not None and cache[0] == self._fp_version:
+            return cache[1]
+        digest = hashlib.blake2b(
+            pickle.dumps(self.cached_fingerprint(), protocol=4),
+            digest_size=16,
+        ).digest()
+        self._fp_digest = (self._fp_version, digest)
+        return digest
+
+    def clone_for_mc(self) -> "PhysicalMemory":
+        """Independent copy sharing the (frozen) Frame objects."""
+        other = PhysicalMemory.__new__(PhysicalMemory)
+        other.page_size = self.page_size
+        other.n_colours = self.n_colours
+        other.frames = self.frames
+        other._free = list(self._free)
+        other._words = dict(self._words)
+        other._fp_version = self._fp_version
+        other._fp_cache = self._fp_cache
+        other._fp_digest = self._fp_digest
+        return other
 
     def fingerprint(self) -> tuple:
         """Canonical memory state: written words plus the free-frame set.

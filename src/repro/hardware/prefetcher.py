@@ -62,6 +62,7 @@ class StridePrefetcher(StateElement):
     def observe(self, paddr: int) -> List[int]:
         """Record a demand access; return addresses to prefetch (if any)."""
         self._tick += 1
+        self._fp_version += 1
         region = self._region(paddr)
         self._touch(region, TouchKind.UPDATE)
         entry = self._table.get(region)
@@ -101,7 +102,36 @@ class StridePrefetcher(StateElement):
         """
         if self.flushable_in_hardware:
             self._table.clear()
+            self._fp_version += 1
         return FlushResult(cycles=self.flush_latency_cycles)
+
+    def clone_for_mc(self, instrumentation) -> "StridePrefetcher":
+        """Independent copy; stream entries are rebuilt (mutable)."""
+        other = StridePrefetcher.__new__(StridePrefetcher)
+        other.name = self.name
+        other.category = self.category
+        other.scope = self.scope
+        other.instr = instrumentation
+        other.concurrently_shared = self.concurrently_shared
+        other._fp_version = self._fp_version
+        other._fp_cache = self._fp_cache
+        other._fp_digest = self._fp_digest
+        other.table_entries = self.table_entries
+        other.region_bits = self.region_bits
+        other.degree = self.degree
+        other.flush_latency_cycles = self.flush_latency_cycles
+        other.flushable_in_hardware = self.flushable_in_hardware
+        other._table = {
+            region: StreamEntry(
+                last_addr=entry.last_addr,
+                stride=entry.stride,
+                confidence=entry.confidence,
+                stamp=entry.stamp,
+            )
+            for region, entry in self._table.items()
+        }
+        other._tick = self._tick
+        return other
 
     def audit_streams(self) -> Tuple[Tuple[int, "StreamEntry"], ...]:
         """``(region, entry)`` pairs in allocation order (audit accessor).

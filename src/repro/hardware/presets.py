@@ -58,6 +58,29 @@ def micro_machine(n_cores: int = 1) -> Machine:
     return Machine(micro_config(n_cores=n_cores))
 
 
+def pocket_config(n_cores: int = 1) -> MachineConfig:
+    """Between tiny and desktop: 256 B pages over a 16-colour 32 KiB LLC.
+
+    Doubles every structure tiny has (L1/L2/LLC sets, TLB reach, frame
+    count) without leaving the envelope the exhaustive model checker can
+    drain: the first preset larger than ``tiny`` with a complete
+    reachable-state-space PASS on record (EXPERIMENTS.md E19).
+    """
+    return MachineConfig(
+        n_cores=n_cores,
+        total_frames=1024,
+        l1i_geometry=CacheGeometry(sets=16, ways=2, line_size=32),
+        l1d_geometry=CacheGeometry(sets=16, ways=2, line_size=32),
+        l2_geometry=CacheGeometry(sets=64, ways=4, line_size=32),
+        llc_geometry=CacheGeometry(sets=128, ways=8, line_size=32),
+        tlb_entries=32,
+    )
+
+
+def pocket_machine(n_cores: int = 1) -> Machine:
+    return Machine(pocket_config(n_cores=n_cores))
+
+
 def desktop_config(n_cores: int = 2, mba: bool = False) -> MachineConfig:
     """A small x86-like part: 4 KiB pages, 64-colour 4 MiB LLC."""
     return MachineConfig(

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import abc
 import enum
+import hashlib
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
@@ -112,6 +114,12 @@ class Instrumentation:
         # instruction boundary when footprint tracking is enabled.
         self.track_footprint = False
         self.footprint: List[Tuple[str, Hashable, TouchKind]] = []
+        # Optional element whitelist: when set, SUMMARY recording keeps
+        # per-index sets only for these element names.  Consumers that
+        # audit a single element (the model checker's partitioning check
+        # reads only the LLC) install the filter so every other element's
+        # touches cost one early return instead of a set insertion.
+        self.summary_elements: Optional[frozenset] = None
         # Per-domain bucket cache; ``_buckets`` is the current domain's.
         self._domain_buckets: Dict[Optional[str], Dict[str, Set[Hashable]]] = {}
         self._buckets: Dict[str, Set[Hashable]] = self._domain_buckets.setdefault(
@@ -149,6 +157,9 @@ class Instrumentation:
             self.footprint.append((element, index, kind))
         if not self._recording:
             return
+        only = self.summary_elements
+        if only is not None and element not in only:
+            return
         bucket = self._buckets.get(element)
         if bucket is None:
             bucket = set()
@@ -169,6 +180,33 @@ class Instrumentation:
 
     def reset_footprint(self) -> None:
         self.footprint = []
+
+    def clone(self) -> "Instrumentation":
+        """An independent copy (for the model checker's fast snapshot).
+
+        Rebuilds the ``summary`` / ``_domain_buckets`` aliasing from
+        scratch so the copy's buckets are its own sets that still alias
+        its own summary entries, exactly as ``touch()`` maintains them.
+        """
+        other = Instrumentation.__new__(Instrumentation)
+        other.summary = {}
+        other._domain_buckets = {}
+        for (domain, element), indices in self.summary.items():
+            fresh = set(indices)
+            other.summary[(domain, element)] = fresh
+            other._domain_buckets.setdefault(domain, {})[element] = fresh
+        other.events = list(self.events)
+        other.current_domain = self.current_domain
+        other.current_core = self.current_core
+        other.current_cycle = self.current_cycle
+        other.track_footprint = self.track_footprint
+        other.footprint = list(self.footprint)
+        other.summary_elements = self.summary_elements
+        other._buckets = other._domain_buckets.setdefault(
+            self.current_domain, {}
+        )
+        other.mode = self._mode
+        return other
 
     def touched_indices(self, domain: Optional[str], element: str) -> Set[Hashable]:
         """Set of indices of ``element`` touched while ``domain`` ran."""
@@ -264,9 +302,48 @@ class StateElement(abc.ABC):
         # element concurrently (SMT); flushing is then ineffective and the
         # abstract-model extraction reclassifies the element as UNMANAGED.
         self.concurrently_shared = scope is Scope.SHARED
+        # Fingerprint memoisation: subclasses bump ``_fp_version`` on any
+        # mutation that can change ``fingerprint()`` (stamp-only updates
+        # are exempt).  ``cached_fingerprint`` then recomputes only when
+        # the element actually changed -- the model checker fingerprints
+        # every element after every transition, but a single transition
+        # mutates only the few elements it touched.
+        self._fp_version = 0
+        self._fp_cache: Optional[tuple] = None
+        self._fp_digest: Optional[tuple] = None
 
     def _touch(self, index: Hashable, kind: TouchKind) -> None:
         self.instr.touch(self.name, index, kind)
+
+    def cached_fingerprint(self) -> Hashable:
+        """``fingerprint()``, memoised against ``_fp_version``."""
+        cache = self._fp_cache
+        if cache is not None and cache[0] == self._fp_version:
+            return cache[1]
+        fp = self.fingerprint()
+        self._fp_cache = (self._fp_version, fp)
+        return fp
+
+    def cached_digest(self) -> bytes:
+        """BLAKE2b digest of ``fingerprint()``, memoised like it.
+
+        Lets callers that only need *equality* (the model checker's
+        incremental state hash) fold a fixed 16-byte digest per element
+        instead of re-serialising the full fingerprint structure on
+        every comparison.  Serialisation is ``pickle`` at a pinned
+        protocol: fingerprints are freshly built nested tuples of
+        scalars, for which equal values pickle to equal bytes, and the
+        C encoder is several times faster than ``repr`` on them.
+        """
+        cache = self._fp_digest
+        if cache is not None and cache[0] == self._fp_version:
+            return cache[1]
+        digest = hashlib.blake2b(
+            pickle.dumps(self.cached_fingerprint(), protocol=4),
+            digest_size=16,
+        ).digest()
+        self._fp_digest = (self._fp_version, digest)
+        return digest
 
     @abc.abstractmethod
     def flush(self) -> FlushResult:

@@ -67,6 +67,33 @@ class Tlb(StateElement):
         self._entries: Dict[Tuple[int, int], TlbEntry] = {}
         self._tick = 0
 
+    def clone_for_mc(self, instrumentation) -> "Tlb":
+        """Independent copy; entries are rebuilt (mutable stamps)."""
+        other = Tlb.__new__(Tlb)
+        other.name = self.name
+        other.category = self.category
+        other.scope = self.scope
+        other.instr = instrumentation
+        other.concurrently_shared = self.concurrently_shared
+        other._fp_version = self._fp_version
+        other._fp_cache = self._fp_cache
+        other._fp_digest = self._fp_digest
+        other.geometry = self.geometry
+        other.flush_latency_cycles = self.flush_latency_cycles
+        other._entries = {
+            key: TlbEntry(
+                asid=entry.asid,
+                vpage=entry.vpage,
+                frame_number=entry.frame_number,
+                writable=entry.writable,
+                stamp=entry.stamp,
+                generation=entry.generation,
+            )
+            for key, entry in self._entries.items()
+        }
+        other._tick = self._tick
+        return other
+
     # ------------------------------------------------------------------
     # Lookup / fill / invalidate
     # ------------------------------------------------------------------
@@ -91,6 +118,7 @@ class Tlb(StateElement):
     ) -> None:
         """Install a translation, evicting the LRU entry when full."""
         self._tick += 1
+        self._fp_version += 1
         if len(self._entries) >= self.geometry.entries:
             victim_key = min(self._entries, key=lambda k: self._entries[k].stamp)
             self._touch(victim_key, TouchKind.EVICT)
@@ -110,10 +138,15 @@ class Tlb(StateElement):
         victims = [key for key in self._entries if key[0] == asid]
         for key in victims:
             del self._entries[key]
+        if victims:
+            self._fp_version += 1
         return len(victims)
 
     def invalidate_page(self, asid: int, vpage: int) -> bool:
-        return self._entries.pop((asid, vpage), None) is not None
+        if self._entries.pop((asid, vpage), None) is not None:
+            self._fp_version += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Consistency predicates (the Syeda & Klein-style theorem surface)
@@ -160,6 +193,7 @@ class Tlb(StateElement):
 
     def flush(self) -> FlushResult:
         self._entries.clear()
+        self._fp_version += 1
         return FlushResult(cycles=self.flush_latency_cycles)
 
     def fingerprint(self) -> Hashable:

@@ -30,8 +30,8 @@ from .colour_alloc import ColourAwareAllocator
 from .clone import KernelCloneManager
 from .ipc import Endpoint, EndpointTable
 from .irq_policy import IrqPartitionPolicy
-from .objects import Domain, Tcb, ThreadState
-from .scheduler import DomainScheduler
+from .objects import Domain, ReplayableProgram, Tcb, ThreadState
+from .scheduler import CoreScheduleState, DomainScheduler
 from .switch import SwitchPath, SwitchRecord, estimate_pad_cycles
 from .syscalls import SyscallHandler, SyscallOutcome
 from .timeprotect import TimeProtectionConfig
@@ -171,6 +171,13 @@ class Kernel:
         # "1" (user step), "2a" (trap), "2b" (domain switch).
         self.capture_footprints = False
         self.step_footprints: List[Tuple[str, str, Tuple]] = []
+        # Lightweight sibling of ``capture_footprints``: records only the
+        # (case, context) pairs of the Sect. 5.2 case split, without the
+        # per-touch footprint tuples.  The model checker's case-trace
+        # comparison needs exactly this and nothing more, so MC systems
+        # enable ``capture_cases`` instead of paying for full footprints.
+        self.capture_cases = False
+        self.step_cases: List[Tuple[str, str]] = []
 
     # ------------------------------------------------------------------
     # Configuration surface
@@ -347,6 +354,173 @@ class Kernel:
                 f"generators): {error}"
             ) from None
 
+    def clone_for_mc(self) -> "Kernel":
+        """A hand-rolled deep copy of the whole system, machine included.
+
+        Behaviourally identical to :meth:`snapshot` but much faster: the
+        object graph is walked explicitly, sharing everything immutable
+        after build (address spaces, kernel images, IRQ ownership, the
+        clone manager, write-once switch/observation records) and copying
+        only the mutable residue.  Raises ``TypeError`` for configurations
+        the fast walk does not cover (SMT machines, counting
+        instrumentation, non-ReplayableProgram threads) -- callers fall
+        back to :meth:`snapshot`.
+        """
+        machine = self.machine.clone_for_mc()
+        other = Kernel.__new__(Kernel)
+        other.machine = machine
+        other.tp = self.tp
+        other.record_observations = self.record_observations
+        # Allocator: rebind to the cloned memory; colour assignments are
+        # static after build but the dict itself can in principle grow.
+        allocator = ColourAwareAllocator.__new__(ColourAwareAllocator)
+        allocator.memory = machine.memory
+        allocator.colouring_enabled = self.allocator.colouring_enabled
+        allocator.n_colours = self.allocator.n_colours
+        allocator.kernel_colours = set(self.allocator.kernel_colours)
+        allocator._assigned = {
+            name: set(colours)
+            for name, colours in self.allocator._assigned.items()
+        }
+        other.allocator = allocator
+        other.clone_manager = self.clone_manager  # static after build
+        other.kernel_data_paddrs = self.kernel_data_paddrs
+        other.kernel_data_frames = self.kernel_data_frames
+        other.irq_policy = self.irq_policy  # static owner map
+        # Domains and threads, with name-keyed maps (names are unique
+        # and stable) so every cross-reference (scheduler entries,
+        # endpoint receivers, current tcbs) lands on the clone of the
+        # object it pointed at.
+        domain_map: Dict[str, Domain] = {}
+        tcb_map: Dict[str, Tcb] = {}
+        other.domains = {}
+        for name, domain in self.domains.items():
+            dclone = Domain(
+                name=domain.name,
+                domain_id=domain.domain_id,
+                colours=set(domain.colours),
+                slice_cycles=domain.slice_cycles,
+                pad_cycles=domain.pad_cycles,
+                irq_lines=set(domain.irq_lines),
+                kernel_image=domain.kernel_image,
+            )
+            dclone.rr_position = dict(domain.rr_position)
+            domain_map[domain.name] = dclone
+            other.domains[name] = dclone
+            for tcb in domain.threads:
+                program = tcb.program
+                if type(program) is ReplayableProgram:
+                    pclone = ReplayableProgram(
+                        program.step_fn, copy.deepcopy(program.ctx)
+                    )
+                    pclone.index = program.index
+                    pclone.finished = program.finished
+                else:
+                    raise TypeError(
+                        "clone_for_mc needs ReplayableProgram threads "
+                        f"(got {type(program).__name__})"
+                    )
+                tclone = Tcb(
+                    name=tcb.name,
+                    domain=dclone,
+                    space=tcb.space,
+                    program=pclone,
+                    pc=tcb.pc,
+                    core_id=tcb.core_id,
+                    code_base=tcb.code_base,
+                    code_size=tcb.code_size,
+                    state=tcb.state,
+                    started=tcb.started,
+                    pending_obs=tcb.pending_obs,
+                    blocked_on_endpoint=tcb.blocked_on_endpoint,
+                    wake_time=tcb.wake_time,
+                    steps_executed=tcb.steps_executed,
+                )
+                tcb_map[tcb.name] = tclone
+                dclone.threads.append(tclone)
+        # Endpoints: fresh table and Endpoint shells; Message objects are
+        # write-once, so queues share entries but not the deque.
+        endpoints = EndpointTable.__new__(EndpointTable)
+        endpoints.padded_ipc = self.endpoints.padded_ipc
+        endpoints.default_min_cycles = self.endpoints.default_min_cycles
+        endpoints._next_id = self.endpoints._next_id
+        endpoints.n_endpoints = self.endpoints.n_endpoints
+        endpoints._endpoints = {}
+        for eid, endpoint in self.endpoints._endpoints.items():
+            receiver = endpoint.receiver_domain
+            endpoints._endpoints[eid] = Endpoint(
+                endpoint_id=endpoint.endpoint_id,
+                name=endpoint.name,
+                min_exec_cycles=endpoint.min_exec_cycles,
+                queue=type(endpoint.queue)(endpoint.queue),
+                receiver_domain=(
+                    domain_map[receiver.name] if receiver is not None else None
+                ),
+            )
+        other.endpoints = endpoints
+        # Scheduler: rebuild per-core state with mapped domains.
+        scheduler = DomainScheduler()
+        for core_id, state in self.scheduler._cores.items():
+            sclone = CoreScheduleState(
+                entries=[
+                    (domain_map[domain.name], slice_cycles)
+                    for domain, slice_cycles in state.entries
+                ]
+            )
+            sclone.position = state.position
+            sclone.slice_start = state.slice_start
+            sclone.slice_end = state.slice_end
+            forced = state.forced_next
+            sclone.forced_next = (
+                domain_map[forced.name] if forced is not None else None
+            )
+            sclone.forced_switch_at = state.forced_switch_at
+            scheduler._cores[core_id] = sclone
+        other.scheduler = scheduler
+        # Switch path: SwitchRecord objects are write-once evidence, so
+        # the clone shares the records while owning its own list.
+        switch_path = SwitchPath.__new__(SwitchPath)
+        switch_path.machine = machine
+        switch_path.tp = self.switch_path.tp
+        switch_path.kernel_data_paddrs = self.switch_path.kernel_data_paddrs
+        switch_path.record_fingerprints = self.switch_path.record_fingerprints
+        switch_path.records = list(self.switch_path.records)
+        other.switch_path = switch_path
+        other.syscalls = SyscallHandler(
+            endpoints=endpoints,
+            irq_policy=other.irq_policy,
+            scheduler=scheduler,
+            kernel_data_paddrs=other.kernel_data_paddrs,
+            instrumentation=machine.instrumentation,
+        )
+        # Address spaces only mutate at build time (map/unmap); during
+        # exploration they are read-only and safe to share.
+        other.spaces = self.spaces
+        other.pad_wcet_estimate = self.pad_wcet_estimate
+        other._way_quotas = self._way_quotas
+        other.observations = {
+            name: list(records) for name, records in self.observations.items()
+        }
+        other.irq_deliveries = list(self.irq_deliveries)
+        other._current_tcb = {
+            core_id: (tcb_map[tcb.name] if tcb is not None else None)
+            for core_id, tcb in self._current_tcb.items()
+        }
+        other._next_domain_id = self._next_domain_id
+        other._thread_counter = self._thread_counter
+        other._threads_snapshot = ()
+        other._threads_version = -1  # force recompute on the clone
+        other._finish_check_needed = self._finish_check_needed
+        other.total_steps = self.total_steps
+        other.capture_footprints = self.capture_footprints
+        other.step_footprints = list(self.step_footprints)
+        other.capture_cases = self.capture_cases
+        other.step_cases = list(self.step_cases)
+        fp_cache = getattr(self, "_mc_fp_cache", None)
+        if fp_cache is not None:
+            other._mc_fp_cache = dict(fp_cache)
+        return other
+
     def step(self, core_id: int = 0, max_cycles: int = 1_000_000_000) -> None:
         """Execute exactly one scheduler step on ``core_id``.
 
@@ -502,10 +676,13 @@ class Kernel:
             instrumentation.track_footprint = True
             instrumentation.reset_footprint()
         case = self._execute_step_inner(core, domain, tcb)
-        if self.capture_footprints and case is not None:
-            self.step_footprints.append(
-                (case, domain.name, tuple(instrumentation.footprint))
-            )
+        if case is not None:
+            if self.capture_footprints:
+                self.step_footprints.append(
+                    (case, domain.name, tuple(instrumentation.footprint))
+                )
+            if self.capture_cases:
+                self.step_cases.append((case, domain.name))
 
     def _execute_step_inner(
         self, core: Core, domain: Domain, tcb: Tcb
@@ -647,6 +824,8 @@ class Kernel:
             self.step_footprints.append(
                 ("2b", context, tuple(self.machine.instrumentation.footprint))
             )
+        if self.capture_cases:
+            self.step_cases.append(("2b", context))
         self.scheduler.advance(core_id, release_time=record.released_at)
         self.irq_policy.apply_masks(core.irq, to_domain)
         self._current_tcb[core_id] = None

@@ -10,8 +10,13 @@ that the concrete two-run harness (``core/noninterference.py``)
 confirms independently.
 """
 
-from .explorer import McNode, ModelChecker, path_to
-from .fingerprint import canonical_state, product_fingerprint, state_fingerprint
+from .explorer import McNode, McOptions, ModelChecker, path_to
+from .fingerprint import (
+    canonical_state,
+    product_fingerprint,
+    state_fingerprint,
+    state_fingerprint_incremental,
+)
 from .product import McViolation, ProductState
 from .replay import confirm_counterexample, replay_build_and_run
 from .report import McCounterexample, McReport, McStats, render_json, render_text
@@ -20,6 +25,7 @@ from .spec import McSpec, build_system, run_to_terminal
 __all__ = [
     "McCounterexample",
     "McNode",
+    "McOptions",
     "McReport",
     "McSpec",
     "McStats",
@@ -36,4 +42,5 @@ __all__ = [
     "replay_build_and_run",
     "run_to_terminal",
     "state_fingerprint",
+    "state_fingerprint_incremental",
 ]

@@ -1,0 +1,71 @@
+"""Batched frontier expansion through the vectorized lockstep engine.
+
+Expanding a BFS level means stepping many independent kernels by exactly
+one transition each -- precisely the shape the batch engine
+(``repro.hardware.batch``) vectorises.  Each product state contributes
+its two lanes (kernel A and kernel B) to one ``run_lockstep`` call with
+``max_steps=1``; lanes are independent, so each kernel evolves
+bit-identically to a scalar ``Kernel.step`` (the batch engine's standing
+differential guarantee, extended in this change to record the
+``capture_cases`` log).
+
+The expansion is admitted per state, conservatively:
+
+* the ``step`` choice only (an injection leaves a pending IRQ, which the
+  batch envelope rejects);
+* colouring **off** on both sides: the per-transition partition audit
+  reads the per-touch instrumentation summary, which batch runs skip;
+  with colouring off the audit is statically skipped, so the missing
+  summary can never change a verdict.  (This is exactly the boundary at
+  which skipping instrumentation is sound, not merely fast.)
+* both sides non-terminal, no pending IRQs, no blocked threads --
+  mirroring ``check_batchable``'s run-time envelope so the up-front
+  check never trips mid-exploration.
+
+Anything else falls back to the scalar path, state by state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hardware.batch import BatchUnsupported, check_batchable, run_lockstep
+from ..kernel.objects import ThreadState
+from .product import ProductState
+from .spec import McSpec, is_terminal
+
+
+def batch_eligible(state: ProductState, spec: McSpec) -> bool:
+    """Per-state envelope: may this state's step-child be batch-stepped?"""
+    for kernel in (state.kernel_a, state.kernel_b):
+        if kernel.tp.cache_colouring:
+            return False
+        if is_terminal(kernel, spec):
+            return False
+        if kernel.machine.cores[0].irq._pending:
+            return False
+        for domain in kernel.domains.values():
+            for tcb in domain.threads:
+                if tcb.state is ThreadState.BLOCKED:
+                    return False
+    return True
+
+
+def step_states_batched(states: List[ProductState], spec: McSpec) -> bool:
+    """Advance every state's kernels one transition via the batch engine.
+
+    Returns ``False`` (nothing mutated; caller must step scalar) when
+    the kernels fall outside the batch envelope's *shape* checks.  The
+    shape is validated up front, before any lane state is lifted, so a
+    rejection is always a clean fallback.
+    """
+    kernels = []
+    for state in states:
+        kernels.append(state.kernel_a)
+        kernels.append(state.kernel_b)
+    try:
+        check_batchable(kernels)
+    except BatchUnsupported:
+        return False
+    run_lockstep(kernels, spec.max_cycles, max_steps=1)
+    return True

@@ -26,12 +26,32 @@ processes (and lint clean under SC-2).
 from __future__ import annotations
 
 import hashlib
+import pickle
 from typing import Dict, List, Tuple
+
+_dumps = pickle.dumps
 
 from ..kernel.kernel import Kernel
 from ..kernel.objects import ReplayableProgram
 
 DIGEST_SIZE = 16
+
+#: Chain-digest seed; every incremental rolling digest starts from it.
+_CHAIN_SEED = b"mcfp"
+
+
+def case_trace(kernel: Kernel) -> Tuple[Tuple[str, str], ...]:
+    """The (case, context) sequence of the Sect. 5.2 case split.
+
+    Prefers the lightweight ``capture_cases`` log; systems still running
+    with full footprint capture derive the same pairs from the footprint
+    log, so either capture mode feeds the checker identically.
+    """
+    if kernel.capture_cases:
+        return tuple(kernel.step_cases)
+    return tuple(
+        (case, context) for case, context, _footprint in kernel.step_footprints
+    )
 
 
 def _domain_order(kernel: Kernel) -> List:
@@ -93,17 +113,15 @@ def _relabel_colour_keys(fingerprints: Dict[int, Tuple],
     )
 
 
-def canonical_state(kernel: Kernel, observer: str = "Lo") -> Tuple:
-    """The canonical (symmetry-reduced) structure the digest hashes."""
-    labels = _role_labels(kernel, observer)
-    colours = _colour_map(kernel)
-    order = _domain_order(kernel)
-    tcb_labels = {
+def _tcb_labels(order, labels) -> Dict[str, Tuple[str, int]]:
+    return {
         tcb.name: (labels[domain.name], position)
         for domain in order
         for position, tcb in enumerate(domain.threads)
     }
 
+
+def _cores_component(kernel: Kernel, tcb_labels: Dict) -> List[Tuple]:
     cores = []
     for core_id in kernel.scheduler.scheduled_cores():
         core = kernel.machine.cores[core_id]
@@ -118,7 +136,10 @@ def canonical_state(kernel: Kernel, observer: str = "Lo") -> Tuple:
             tcb_labels.get(current.name) if current is not None else None,
             core.irq.fingerprint(),
         ))
+    return cores
 
+
+def _domains_component(order, labels, colours, tcb_labels) -> List[Tuple]:
     domains = []
     for domain in order:
         threads = tuple(
@@ -151,40 +172,63 @@ def canonical_state(kernel: Kernel, observer: str = "Lo") -> Tuple:
             threads,
             tuple(sorted(domain.rr_position.items())),
         ))
+    return domains
+
+
+def _observation_item(record, tcb_labels) -> Tuple:
+    return (
+        tcb_labels.get(record.thread, record.thread),
+        record.value,
+        record.latency,
+    )
+
+
+def _switch_item(record, labels, colours) -> Tuple:
+    return (
+        record.core_id,
+        labels.get(record.from_domain, record.from_domain),
+        labels.get(record.to_domain, record.to_domain),
+        record.scheduled_at,
+        record.entered_at,
+        record.finished_at,
+        record.pad_target,
+        record.released_at,
+        record.flush_cycles,
+        record.lines_written_back,
+        tuple(sorted(record.post_flush_fingerprints.items())),
+        _relabel_colour_keys(record.llc_colour_fingerprints, colours),
+    )
+
+
+def canonical_state(kernel: Kernel, observer: str = "Lo") -> Tuple:
+    """The canonical (symmetry-reduced) structure the digest hashes."""
+    labels = _role_labels(kernel, observer)
+    colours = _colour_map(kernel)
+    order = _domain_order(kernel)
+    tcb_labels = _tcb_labels(order, labels)
+
+    cores = _cores_component(kernel, tcb_labels)
+    domains = _domains_component(order, labels, colours, tcb_labels)
 
     observations = tuple(
         (
             labels[domain.name],
             tuple(
-                (tcb_labels.get(thread, thread), value, latency)
-                for thread, value, latency in
-                kernel.observation_trace(domain.name)
+                _observation_item(record, tcb_labels)
+                for record in kernel.observations[domain.name]
             ),
         )
         for domain in order
     )
 
     switches = tuple(
-        (
-            record.core_id,
-            labels.get(record.from_domain, record.from_domain),
-            labels.get(record.to_domain, record.to_domain),
-            record.scheduled_at,
-            record.entered_at,
-            record.finished_at,
-            record.pad_target,
-            record.released_at,
-            record.flush_cycles,
-            record.lines_written_back,
-            tuple(sorted(record.post_flush_fingerprints.items())),
-            _relabel_colour_keys(record.llc_colour_fingerprints, colours),
-        )
+        _switch_item(record, labels, colours)
         for record in kernel.switch_records
     )
 
     cases = tuple(
         (case, _relabel_context(context, labels))
-        for case, context, _footprint in kernel.step_footprints
+        for case, context in case_trace(kernel)
     )
 
     return (
@@ -202,6 +246,116 @@ def canonical_state(kernel: Kernel, observer: str = "Lo") -> Tuple:
 def state_fingerprint(kernel: Kernel, observer: str = "Lo") -> str:
     """Stable hex digest of the canonical state."""
     doc = repr(canonical_state(kernel, observer)).encode()
+    return hashlib.blake2b(doc, digest_size=DIGEST_SIZE).hexdigest()
+
+
+def _chain_digest(cache: Dict, key, items: List, encode) -> bytes:
+    """Rolling digest of an append-only list, memoised on ``cache``.
+
+    ``digest_n = H(digest_{n-1} || encode(items[n]))`` folded one item
+    at a time, so the digest depends only on the item sequence -- two
+    kernels whose lists grew by different increments still agree.  The
+    cache entry is ``(length, digest)``; a shrink (never happens during
+    exploration) falls back to recomputing from the seed.
+    """
+    length, digest = cache.get(key, (0, _CHAIN_SEED))
+    if length > len(items):
+        length, digest = 0, _CHAIN_SEED
+    if length < len(items):
+        for item in items[length:]:
+            digest = hashlib.blake2b(
+                digest + encode(item), digest_size=DIGEST_SIZE
+            ).digest()
+        cache[key] = (len(items), digest)
+    return digest
+
+
+def state_fingerprint_incremental(kernel: Kernel, observer: str = "Lo") -> str:
+    """Digest equivalent to :func:`state_fingerprint`, computed lazily.
+
+    Induces the *same equality partition* over kernel states (two states
+    collide iff all canonical components agree, modulo the same 128-bit
+    hash strength the full digest already has), but the digest *value*
+    differs from the full one -- an exploration must use one mode
+    throughout.  The accumulated evidence lists (observations, switch
+    records, case log) are append-only during exploration, so they are
+    folded into per-kernel rolling chain digests (cached on
+    ``kernel._mc_fp_cache``, copied by both snapshot paths) and each
+    transition pays only for the suffix it appended.  Relabelling maps
+    are static after build -- domains and threads are never created
+    mid-exploration -- which is what makes caching relabelled items
+    sound.
+    """
+    cache = getattr(kernel, "_mc_fp_cache", None)
+    if cache is None:
+        cache = {}
+        kernel._mc_fp_cache = cache
+    # The relabelling maps are static after build, so compute them once
+    # per exploration and cache by *name* (never by object reference:
+    # the cache dict is shallow-copied into clones, whose domain objects
+    # are fresh -- names are the only identity safe to carry across).
+    static = cache.get(("static", observer))
+    if static is None:
+        labels = _role_labels(kernel, observer)
+        colours = _colour_map(kernel)
+        order = _domain_order(kernel)
+        static = (
+            labels, colours,
+            tuple(domain.name for domain in order),
+            _tcb_labels(order, labels),
+        )
+        cache[("static", observer)] = static
+    labels, colours, order_names, tcb_labels = static
+    order = [kernel.domains[name] for name in order_names]
+
+    cores = _cores_component(kernel, tcb_labels)
+    domains = _domains_component(order, labels, colours, tcb_labels)
+
+    observations = tuple(
+        (
+            labels[name],
+            _chain_digest(
+                cache,
+                ("obs", name),
+                kernel.observations[name],
+                lambda record: _dumps(
+                    _observation_item(record, tcb_labels), 4
+                ),
+            ),
+        )
+        for name in order_names
+    )
+    switches = _chain_digest(
+        cache,
+        "switches",
+        kernel.switch_records,
+        lambda record: _dumps(_switch_item(record, labels, colours), 4),
+    )
+    case_items = (
+        kernel.step_cases if kernel.capture_cases else kernel.step_footprints
+    )
+    cases = _chain_digest(
+        cache,
+        "cases",
+        case_items,
+        lambda item: _dumps(
+            (item[0], _relabel_context(item[1], labels)), 4
+        ),
+    )
+
+    # Constant-size per-element digests in place of the full
+    # microarchitectural structures: equality-equivalent, but the final
+    # document stays small no matter how much hardware state exists.
+    doc = _dumps((
+        cores,
+        tuple(domains),
+        kernel.machine.digest_all(),
+        kernel.machine.memory.cached_digest(),
+        observations,
+        switches,
+        cases,
+        kernel.endpoints.n_endpoints,
+    ), 4)
     return hashlib.blake2b(doc, digest_size=DIGEST_SIZE).hexdigest()
 
 

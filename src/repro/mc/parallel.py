@@ -26,24 +26,36 @@ from .product import McViolation, ProductState
 from .report import McCounterexample, McStats
 from .spec import McSpec
 
-#: Worker result: (frontier index, expansions); each expansion is
-#: (choice, child fingerprint, violations).
+#: Worker result: (frontier index, POR-pruned count, expansions); each
+#: expansion is (choice, child fingerprint, violations).
 _Expansion = Tuple[Tuple, str, Tuple[McViolation, ...]]
 
 
-def _expand_items(payload) -> List[Tuple[int, List[_Expansion]]]:
+def _expand_items(payload) -> List[Tuple[int, int, List[_Expansion]]]:
     """Worker: rebuild each product state by path replay and expand it."""
-    spec, secret_a, secret_b, items = payload
+    spec, secret_a, secret_b, items, options = payload
+    from .por import reduce_choices
+
     results = []
     for index, path in items:
         state = ProductState.from_path(spec, secret_a, secret_b, path)
         expansions: List[_Expansion] = []
         choices = state.available_choices(spec)
+        pruned = 0
+        if options.por and choices:
+            choices, pruned = reduce_choices(state, choices, spec)
         for position, choice in enumerate(choices):
-            child = state if position == len(choices) - 1 else state.clone()
-            violations = child.apply(choice, spec)
-            expansions.append((choice, child.fingerprint(), tuple(violations)))
-        results.append((index, expansions))
+            child = (
+                state if position == len(choices) - 1
+                else state.clone(options.fast_clone)
+            )
+            violations = child.apply(choice, spec, options.incremental)
+            expansions.append((
+                choice,
+                child.fingerprint(options.incremental),
+                tuple(violations),
+            ))
+        results.append((index, pruned, expansions))
     return results
 
 
@@ -54,9 +66,22 @@ def explore_pair_parallel(
     stats: McStats,
     pool,
     jobs: int,
+    options=None,
 ) -> Tuple[List[McCounterexample], Optional[str]]:
-    """Level-synchronous BFS over the product rooted at one secret pair."""
-    root_fp = ProductState.initial(spec, secret_a, secret_b).fingerprint()
+    """Level-synchronous BFS over the product rooted at one secret pair.
+
+    Honours the ``por``, ``incremental`` and ``fast_clone`` levers of
+    :class:`~repro.mc.explorer.McOptions` inside each worker; the
+    memory-scale levers (bitstate, spill, batch expansion) are
+    serial-explorer-only.
+    """
+    if options is None:
+        from .explorer import McOptions
+
+        options = McOptions()
+    root_fp = ProductState.initial(spec, secret_a, secret_b).fingerprint(
+        options.incremental
+    )
     visited: Dict[str, int] = {root_fp: 0}
     stats.states_visited += 1
     # Frontier entries carry their full path so workers can replay them.
@@ -76,14 +101,16 @@ def explore_pair_parallel(
         for index, (fingerprint, path) in enumerate(level):
             shards[int(fingerprint, 16) % jobs].append((index, path))
         payloads = [
-            (spec, secret_a, secret_b, shard) for shard in shards if shard
+            (spec, secret_a, secret_b, shard, options)
+            for shard in shards if shard
         ]
         merged = sorted(chain.from_iterable(pool.map(_expand_items, payloads)))
 
         child_depth = depth + 1
         next_level: List[Tuple[str, Tuple[Tuple, ...]]] = []
         violated = False
-        for index, expansions in merged:
+        for index, pruned, expansions in merged:
+            stats.por_pruned += pruned
             parent_fp, parent_path = level[index]
             if not expansions:
                 stats.terminal_states += 1

@@ -29,9 +29,14 @@ from typing import List, Optional, Tuple
 
 from ..core.invariants import check_partition_touches
 from ..core.noninterference import trace_divergence
-from ..core.unwinding import lo_projection
+from ..core.unwinding import lo_projection, projection_entry
 from ..kernel.kernel import Kernel
-from .fingerprint import product_fingerprint, state_fingerprint
+from .fingerprint import (
+    case_trace,
+    product_fingerprint,
+    state_fingerprint,
+    state_fingerprint_incremental,
+)
 from .spec import STEP, McSpec, apply_choice, build_system, is_terminal
 
 OBSERVER = "Lo"
@@ -55,7 +60,7 @@ class McViolation:
 def _lo_case_trace(kernel: Kernel) -> Tuple[str, ...]:
     """Case labels of every Lo-attributed step, in execution order."""
     labels = []
-    for case, context, _footprint in kernel.step_footprints:
+    for case, context in case_trace(kernel):
         if (
             context == OBSERVER
             or context == f"{OBSERVER}/kernel"
@@ -65,14 +70,144 @@ def _lo_case_trace(kernel: Kernel) -> Tuple[str, ...]:
     return tuple(labels)
 
 
-def _check_pair(kernel_a: Kernel, kernel_b: Kernel) -> List[McViolation]:
-    """Cross-pair checks (a) and (b) over Lo-visible prefixes."""
-    violations: List[McViolation] = []
+def _trace_cache(kernel: Kernel) -> dict:
+    """The kernel's fingerprint/trace memo dict (created on demand).
 
-    trace_a = kernel_a.observation_trace(OBSERVER)
-    trace_b = kernel_b.observation_trace(OBSERVER)
+    Shared with the incremental fingerprint; ``clone_for_mc`` copies it
+    shallowly, so a clone inherits its parent's built prefixes and only
+    pays for what it appends itself.
+    """
+    cache = getattr(kernel, "_mc_fp_cache", None)
+    if cache is None:
+        cache = {}
+        kernel._mc_fp_cache = cache
+    return cache
+
+
+def _cached_obs_trace(kernel: Kernel) -> Tuple:
+    """``kernel.observation_trace(OBSERVER)`` with prefix memoisation.
+
+    The observation log is append-only during exploration, so the built
+    tuple is cached as ``(source_length, items)`` and extended by the
+    new suffix only -- identical items to the full rebuild.
+    """
+    cache = _trace_cache(kernel)
+    records = kernel.observations[OBSERVER]
+    length, acc = cache.get("lo_obs", (0, ()))
+    if length > len(records):
+        length, acc = 0, ()
+    if length < len(records):
+        acc = acc + tuple(
+            (record.thread, record.value, record.latency)
+            for record in records[length:]
+        )
+        cache["lo_obs"] = (len(records), acc)
+    return acc
+
+
+def _cached_projection(kernel: Kernel) -> Tuple:
+    """``lo_projection(kernel, OBSERVER)`` with prefix memoisation.
+
+    Entries come from the same :func:`projection_entry` builder the
+    exact path uses, so both modes produce identical projections; the
+    consumed length counts *switch records* (the filtered source), not
+    entries.  The colour lists are static after build and cached as
+    plain ints, safe to share across clones.
+    """
+    cache = _trace_cache(kernel)
+    records = kernel.switch_records
+    statics = cache.get("lo_proj_static")
+    if statics is None:
+        statics = (
+            sorted(kernel.domains[OBSERVER].colours),
+            sorted(kernel.allocator.kernel_colours),
+            kernel.tp.way_partitioning,
+        )
+        cache["lo_proj_static"] = statics
+    colours, kernel_colours, way_partitioned = statics
+    length, acc = cache.get("lo_proj", (0, ()))
+    if length > len(records):
+        length, acc = 0, ()
+    if length < len(records):
+        new = []
+        for record in records[length:]:
+            entry = projection_entry(
+                record, OBSERVER, colours, kernel_colours, way_partitioned
+            )
+            if entry is not None:
+                new.append(entry)
+        acc = acc + tuple(new)
+        cache["lo_proj"] = (len(records), acc)
+    return acc
+
+
+def _cached_lo_cases(kernel: Kernel) -> Tuple[str, ...]:
+    """``_lo_case_trace(kernel)`` with prefix memoisation.
+
+    Reads the same underlying log ``case_trace`` reads (items are
+    ``(case, context, ...)`` in either capture mode) and applies the
+    same Lo-attribution filter, consuming only the appended suffix.
+    """
+    cache = _trace_cache(kernel)
+    source = (
+        kernel.step_cases if kernel.capture_cases else kernel.step_footprints
+    )
+    length, acc = cache.get("lo_cases", (0, ()))
+    if length > len(source):
+        length, acc = 0, ()
+    if length < len(source):
+        kernel_context = f"{OBSERVER}/kernel"
+        switch_suffix = f">{OBSERVER}"
+        new = []
+        for item in source[length:]:
+            context = item[1]
+            if (
+                context == OBSERVER
+                or context == kernel_context
+                or (context.startswith("@switch:")
+                    and context.endswith(switch_suffix))
+            ):
+                new.append(item[0])
+        acc = acc + tuple(new)
+        cache["lo_cases"] = (len(source), acc)
+    return acc
+
+
+def _check_pair(
+    kernel_a: Kernel,
+    kernel_b: Kernel,
+    cursors: Optional[List[int]] = None,
+) -> List[McViolation]:
+    """Cross-pair checks (a) and (b) over Lo-visible prefixes.
+
+    ``cursors`` is the product state's [obs, projection, cases] prefix
+    progress: every entry below a cursor was compared equal on an
+    earlier transition of this very execution (the lists are append-only
+    and every ancestor state ran this check), so only the new common
+    suffix needs comparing.  ``None`` compares full prefixes (the exact,
+    cursor-free mode the differential tests pin against).  Reported
+    divergence indices are absolute either way.
+    """
+    violations: List[McViolation] = []
+    obs_from, proj_from, case_from = cursors if cursors is not None else (0, 0, 0)
+
+    if cursors is not None:
+        # Cursor mode also memoises the *built* traces per kernel: the
+        # logs are append-only, so each transition pays only for its
+        # appended suffix instead of rebuilding O(path)-long lists.
+        trace_a = _cached_obs_trace(kernel_a)
+        trace_b = _cached_obs_trace(kernel_b)
+    else:
+        trace_a = kernel_a.observation_trace(OBSERVER)
+        trace_b = kernel_b.observation_trace(OBSERVER)
     common = min(len(trace_a), len(trace_b))
-    divergence = trace_divergence(trace_a[:common], trace_b[:common])
+    divergence = trace_divergence(
+        trace_a[obs_from:common], trace_b[obs_from:common]
+    )
+    if divergence is not None and obs_from:
+        # Recompute over the full prefix so the violation detail (which
+        # embeds the index) is bit-identical to the exact mode's.
+        divergence = trace_divergence(trace_a[:common], trace_b[:common])
     if divergence is not None:
         violations.append(McViolation(
             kind="lo-trace",
@@ -80,10 +215,17 @@ def _check_pair(kernel_a: Kernel, kernel_b: Kernel) -> List[McViolation]:
             side="pair",
             divergence_index=divergence.index,
         ))
+    elif cursors is not None:
+        cursors[0] = common
 
-    projection_a = lo_projection(kernel_a, OBSERVER)
-    projection_b = lo_projection(kernel_b, OBSERVER)
-    for index in range(min(len(projection_a), len(projection_b))):
+    if cursors is not None:
+        projection_a = _cached_projection(kernel_a)
+        projection_b = _cached_projection(kernel_b)
+    else:
+        projection_a = lo_projection(kernel_a, OBSERVER)
+        projection_b = lo_projection(kernel_b, OBSERVER)
+    proj_common = min(len(projection_a), len(projection_b))
+    for index in range(proj_from, proj_common):
         if projection_a[index] != projection_b[index]:
             violations.append(McViolation(
                 kind="lo-projection",
@@ -96,10 +238,18 @@ def _check_pair(kernel_a: Kernel, kernel_b: Kernel) -> List[McViolation]:
                 divergence_index=index,
             ))
             break
+    else:
+        if cursors is not None:
+            cursors[1] = proj_common
 
-    cases_a = _lo_case_trace(kernel_a)
-    cases_b = _lo_case_trace(kernel_b)
-    for index in range(min(len(cases_a), len(cases_b))):
+    if cursors is not None:
+        cases_a = _cached_lo_cases(kernel_a)
+        cases_b = _cached_lo_cases(kernel_b)
+    else:
+        cases_a = _lo_case_trace(kernel_a)
+        cases_b = _lo_case_trace(kernel_b)
+    case_common = min(len(cases_a), len(cases_b))
+    for index in range(case_from, case_common):
         if cases_a[index] != cases_b[index]:
             violations.append(McViolation(
                 kind="case-split",
@@ -111,6 +261,9 @@ def _check_pair(kernel_a: Kernel, kernel_b: Kernel) -> List[McViolation]:
                 divergence_index=index,
             ))
             break
+    else:
+        if cursors is not None:
+            cursors[2] = case_common
 
     return violations
 
@@ -192,15 +345,23 @@ def _check_side(kernel: Kernel, side: str,
 class ProductState:
     """A pair of systems, equal but for the secret, stepped in lockstep."""
 
-    __slots__ = ("kernel_a", "kernel_b", "secret_a", "secret_b", "irq_budget")
+    __slots__ = ("kernel_a", "kernel_b", "secret_a", "secret_b", "irq_budget",
+                 "check_cursors")
 
     def __init__(self, kernel_a: Kernel, kernel_b: Kernel,
-                 secret_a: int, secret_b: int, irq_budget: int):
+                 secret_a: int, secret_b: int, irq_budget: int,
+                 check_cursors: Optional[List[int]] = None):
         self.kernel_a = kernel_a
         self.kernel_b = kernel_b
         self.secret_a = secret_a
         self.secret_b = secret_b
         self.irq_budget = irq_budget
+        # Checked-prefix positions [observations, projection, lo-cases];
+        # see _check_pair.  Inherited by clones: a clone's history *is*
+        # its parent's history.
+        self.check_cursors = (
+            check_cursors if check_cursors is not None else [0, 0, 0]
+        )
 
     @classmethod
     def initial(cls, spec: McSpec, secret_a: int, secret_b: int) -> "ProductState":
@@ -221,13 +382,31 @@ class ProductState:
             state.apply(choice, spec)
         return state
 
-    def clone(self) -> "ProductState":
+    def clone(self, fast: bool = True) -> "ProductState":
+        """An independent copy; ``fast`` uses the hand-rolled deep copy.
+
+        ``Kernel.clone_for_mc`` covers exactly the systems the checker
+        builds (plain instrumentation, no SMT, ReplayableProgram
+        threads); anything outside that envelope raises ``TypeError``
+        and falls back to the deepcopy snapshot, so ``fast=True`` is
+        always safe.
+        """
+        if fast:
+            try:
+                kernel_a = self.kernel_a.clone_for_mc()
+                kernel_b = self.kernel_b.clone_for_mc()
+            except TypeError:
+                fast = False
+        if not fast:
+            kernel_a = self.kernel_a.snapshot()
+            kernel_b = self.kernel_b.snapshot()
         return ProductState(
-            kernel_a=self.kernel_a.snapshot(),
-            kernel_b=self.kernel_b.snapshot(),
+            kernel_a=kernel_a,
+            kernel_b=kernel_b,
             secret_a=self.secret_a,
             secret_b=self.secret_b,
             irq_budget=self.irq_budget,
+            check_cursors=list(self.check_cursors),
         )
 
     def terminal(self, spec: McSpec) -> bool:
@@ -241,23 +420,50 @@ class ProductState:
             choices.extend(("irq", line) for line in spec.irq_lines)
         return choices
 
-    def apply(self, choice: Tuple, spec: McSpec) -> List[McViolation]:
-        """Concretise ``choice`` on both sides; return transition violations."""
-        switches_a = len(self.kernel_a.switch_records)
-        switches_b = len(self.kernel_b.switch_records)
+    def apply(self, choice: Tuple, spec: McSpec,
+              incremental: bool = True) -> List[McViolation]:
+        """Concretise ``choice`` on both sides; return transition violations.
+
+        ``incremental`` compares only the evidence appended since the
+        last check on this execution (sound because the compared lists
+        are append-only and every ancestor ran the same check); ``False``
+        recompares full prefixes -- the differential tests pin both modes
+        to identical verdicts.
+        """
+        marks = self.begin_apply()
         if not is_terminal(self.kernel_a, spec):
             apply_choice(self.kernel_a, choice, spec)
         if not is_terminal(self.kernel_b, spec):
             apply_choice(self.kernel_b, choice, spec)
+        return self.finish_apply(choice, marks, incremental)
+
+    def begin_apply(self) -> Tuple[int, int]:
+        """Pre-transition marks (switch-record counts) for finish_apply.
+
+        ``begin_apply`` / step-the-kernels / ``finish_apply`` is the
+        decomposed form of :meth:`apply`; the batched frontier expansion
+        uses it to step many states' kernels through the lockstep batch
+        engine between the two halves.
+        """
+        return (
+            len(self.kernel_a.switch_records),
+            len(self.kernel_b.switch_records),
+        )
+
+    def finish_apply(self, choice: Tuple, marks: Tuple[int, int],
+                     incremental: bool = True) -> List[McViolation]:
+        """Post-transition bookkeeping and checks; see :meth:`begin_apply`."""
         if choice[0] == "irq":
             self.irq_budget -= 1
-        violations = _check_pair(self.kernel_a, self.kernel_b)
-        violations.extend(_check_side(self.kernel_a, "a", switches_a))
-        violations.extend(_check_side(self.kernel_b, "b", switches_b))
+        cursors = self.check_cursors if incremental else None
+        violations = _check_pair(self.kernel_a, self.kernel_b, cursors)
+        violations.extend(_check_side(self.kernel_a, "a", marks[0]))
+        violations.extend(_check_side(self.kernel_b, "b", marks[1]))
         return violations
 
-    def fingerprint(self) -> str:
+    def fingerprint(self, incremental: bool = False) -> str:
+        fp = state_fingerprint_incremental if incremental else state_fingerprint
         return product_fingerprint(
-            state_fingerprint(self.kernel_a, OBSERVER),
-            state_fingerprint(self.kernel_b, OBSERVER),
+            fp(self.kernel_a, OBSERVER),
+            fp(self.kernel_b, OBSERVER),
         )

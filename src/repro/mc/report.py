@@ -71,6 +71,8 @@ class McStats:
     deduped: int = 0
     peak_frontier: int = 0
     max_depth: int = 0
+    #: Choices dropped by partial-order reduction (symmetric IRQ lines).
+    por_pruned: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -80,6 +82,7 @@ class McStats:
             "deduped": self.deduped,
             "peak_frontier": self.peak_frontier,
             "max_depth": self.max_depth,
+            "por_pruned": self.por_pruned,
         }
 
 
@@ -94,6 +97,11 @@ class McReport:
     stats: McStats = field(default_factory=McStats)
     counterexamples: List[McCounterexample] = field(default_factory=list)
     jobs: int = 1
+    #: Bitstate-mode metadata ({mbytes, inserted,
+    #: est_omission_probability}); None for exact visited sets.
+    bitstate: Optional[dict] = None
+    #: --profile per-phase wall-clock seconds; None unless profiled.
+    profile: Optional[dict] = None
 
     def minimal_counterexample(self) -> Optional[McCounterexample]:
         if not self.counterexamples:
@@ -116,6 +124,8 @@ class McReport:
             "stop_reason": self.stop_reason,
             "stats": self.stats.to_json(),
             "counterexamples": [cex.to_json() for cex in self.counterexamples],
+            "bitstate": self.bitstate,
+            "profile": self.profile,
         }
 
 
@@ -136,23 +146,37 @@ def render_text(report: McReport) -> str:
         f"secrets={list(spec.secrets)}"
     )]
     verdict = "PASS" if report.passed else "FAIL"
-    coverage = (
-        "exhaustive over the reachable state space"
-        if report.exhaustive
-        else f"bounded ({report.stop_reason})"
-    )
+    if report.exhaustive:
+        coverage = "exhaustive over the reachable state space"
+    elif report.bitstate is not None and report.stop_reason == "exhausted":
+        coverage = (
+            "bitstate (est. omission probability "
+            f"{report.bitstate['est_omission_probability']:.2e})"
+        )
+    else:
+        coverage = f"bounded ({report.stop_reason})"
     lines.append(f"verdict: {verdict}  [{coverage}]")
     stats = report.stats
-    lines.append(
+    dedup_line = (
         f"states: {stats.states_visited} visited, "
         f"{stats.transitions} transitions, "
         f"{stats.terminal_states} terminal, "
         f"{stats.deduped} deduplicated"
     )
+    if stats.por_pruned:
+        dedup_line += f", {stats.por_pruned} POR-pruned"
+    lines.append(dedup_line)
     lines.append(
         f"search: max depth {stats.max_depth} (bound {spec.depth}), "
         f"peak frontier {stats.peak_frontier}, jobs {report.jobs}"
     )
+    if report.profile is not None:
+        total = sum(report.profile.values())
+        breakdown = "  ".join(
+            f"{phase} {seconds:.3f}s"
+            for phase, seconds in report.profile.items()
+        )
+        lines.append(f"profile: {breakdown}  (phases {total:.3f}s)")
     if report.counterexamples:
         lines.append("")
         lines.append(

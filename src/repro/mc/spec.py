@@ -126,7 +126,14 @@ def build_system(spec: McSpec, secret: int) -> Kernel:
     machine = MACHINES[spec.machine]()
     tp = TP_CONFIGS[spec.tp]()
     kernel = Kernel(machine, tp, kernel_image_pages=spec.kernel_image_pages)
-    kernel.capture_footprints = True
+    # The checker needs the case-split labels, not per-touch footprints:
+    # capture_cases records exactly the (case, context) pairs the product
+    # comparison reads.  Summary instrumentation is likewise narrowed to
+    # the LLC -- the only element the per-transition partition audit
+    # (check_partition_touches) examines -- which removes the dominant
+    # per-touch bookkeeping cost from every explored transition.
+    kernel.capture_cases = True
+    machine.instrumentation.summary_elements = frozenset({"llc"})
     hi = kernel.create_domain(
         "Hi", n_colours=1, slice_cycles=spec.slice_cycles,
         irq_lines=spec.irq_lines,

@@ -57,6 +57,7 @@ class TestRealTreeMutation:
     REPO = Path(__file__).resolve().parents[2]
     NEEDLE = (
         "                lines.remove(line)\n"
+        "                self._fp_version += 1\n"
         "                self.instr.touch(self.name, set_index, "
         "TouchKind.EVICT)\n"
     )
